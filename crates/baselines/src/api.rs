@@ -1,0 +1,146 @@
+//! A uniform interface over the three trees, for the experiment harness.
+
+use blink_pagestore::{PageStore, Session};
+use sagiv_blink::{BLinkTree, InsertOutcome, Result};
+use std::sync::Arc;
+
+/// The operations every compared index supports, session-based like the
+/// paper's processes. `insert` returns `true` when the key was new.
+pub trait ConcurrentIndex: Send + Sync + 'static {
+    /// Short name for tables ("sagiv", "lehman-yao", "top-down").
+    fn name(&self) -> &'static str;
+    /// Opens a worker session.
+    fn session(&self) -> Session;
+    /// Inserts; `Ok(true)` iff the key was not present.
+    fn insert(&self, session: &mut Session, key: u64, value: u64) -> Result<bool>;
+    /// Point lookup.
+    fn search(&self, session: &mut Session, key: u64) -> Result<Option<u64>>;
+    /// Removes; returns the old value if present.
+    fn delete(&self, session: &mut Session, key: u64) -> Result<Option<u64>>;
+    /// The backing store (for stats).
+    fn store(&self) -> &Arc<PageStore>;
+}
+
+impl ConcurrentIndex for BLinkTree {
+    fn name(&self) -> &'static str {
+        "sagiv"
+    }
+
+    fn session(&self) -> Session {
+        BLinkTree::session(self)
+    }
+
+    fn insert(&self, session: &mut Session, key: u64, value: u64) -> Result<bool> {
+        Ok(BLinkTree::insert(self, session, key, value)? == InsertOutcome::Inserted)
+    }
+
+    fn search(&self, session: &mut Session, key: u64) -> Result<Option<u64>> {
+        BLinkTree::search(self, session, key)
+    }
+
+    fn delete(&self, session: &mut Session, key: u64) -> Result<Option<u64>> {
+        BLinkTree::delete(self, session, key)
+    }
+
+    fn store(&self) -> &Arc<PageStore> {
+        BLinkTree::store(self)
+    }
+}
+
+impl ConcurrentIndex for crate::LehmanYaoTree {
+    fn name(&self) -> &'static str {
+        "lehman-yao"
+    }
+
+    fn session(&self) -> Session {
+        crate::LehmanYaoTree::session(self)
+    }
+
+    fn insert(&self, session: &mut Session, key: u64, value: u64) -> Result<bool> {
+        crate::LehmanYaoTree::insert(self, session, key, value)
+    }
+
+    fn search(&self, session: &mut Session, key: u64) -> Result<Option<u64>> {
+        crate::LehmanYaoTree::search(self, session, key)
+    }
+
+    fn delete(&self, session: &mut Session, key: u64) -> Result<Option<u64>> {
+        crate::LehmanYaoTree::delete(self, session, key)
+    }
+
+    fn store(&self) -> &Arc<PageStore> {
+        crate::LehmanYaoTree::store(self)
+    }
+}
+
+impl ConcurrentIndex for crate::TopDownTree {
+    fn name(&self) -> &'static str {
+        "top-down"
+    }
+
+    fn session(&self) -> Session {
+        crate::TopDownTree::session(self)
+    }
+
+    fn insert(&self, session: &mut Session, key: u64, value: u64) -> Result<bool> {
+        crate::TopDownTree::insert(self, session, key, value)
+    }
+
+    fn search(&self, session: &mut Session, key: u64) -> Result<Option<u64>> {
+        crate::TopDownTree::search(self, session, key)
+    }
+
+    fn delete(&self, session: &mut Session, key: u64) -> Result<Option<u64>> {
+        crate::TopDownTree::delete(self, session, key)
+    }
+
+    fn store(&self) -> &Arc<PageStore> {
+        crate::TopDownTree::store(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LehmanYaoTree, TopDownTree};
+    use blink_pagestore::StoreConfig;
+    use sagiv_blink::{BLinkTree, TreeConfig};
+
+    fn all_trees() -> Vec<Arc<dyn ConcurrentIndex>> {
+        let s1 = PageStore::new(StoreConfig::with_page_size(4096));
+        let s2 = PageStore::new(StoreConfig::with_page_size(4096));
+        let s3 = PageStore::new(StoreConfig::with_page_size(4096));
+        vec![
+            BLinkTree::create(s1, TreeConfig::with_k(4)).unwrap(),
+            LehmanYaoTree::create(s2, 4).unwrap(),
+            TopDownTree::create(s3, 4).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn all_trees_agree_on_a_common_history() {
+        let trees = all_trees();
+        let mut sessions: Vec<_> = trees.iter().map(|t| t.session()).collect();
+        let mut x: u64 = 99;
+        let mut results: Vec<Vec<Option<u64>>> = vec![vec![]; trees.len()];
+        for step in 0..3000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 400;
+            for (i, t) in trees.iter().enumerate() {
+                let r = match step % 4 {
+                    0 | 1 => t
+                        .insert(&mut sessions[i], key, step)
+                        .unwrap()
+                        .then_some(step),
+                    2 => t.delete(&mut sessions[i], key).unwrap(),
+                    _ => t.search(&mut sessions[i], key).unwrap(),
+                };
+                results[i].push(r);
+            }
+        }
+        assert_eq!(results[0], results[1], "sagiv vs lehman-yao disagree");
+        assert_eq!(results[0], results[2], "sagiv vs top-down disagree");
+    }
+}

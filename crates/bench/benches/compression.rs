@@ -1,0 +1,85 @@
+//! Cost of the two compression modes: one scanner pass, and per-item queue
+//! work, each over a freshly damaged (delete-heavy) tree.
+
+use blink_bench::{sagiv, sagiv_no_compress};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const N: u64 = 20_000;
+
+fn bench_scanner_pass(c: &mut Criterion) {
+    c.bench_function("compression/scanner_full_pass_20k", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let t = sagiv_no_compress(8);
+                let mut s = t.session();
+                for i in 0..N {
+                    t.insert(&mut s, i, i).unwrap();
+                }
+                for i in 0..N {
+                    if i % 4 != 0 {
+                        t.delete(&mut s, i).unwrap();
+                    }
+                }
+                let t0 = std::time::Instant::now();
+                t.compress_pass(&mut s).unwrap();
+                total += t0.elapsed();
+            }
+            total
+        })
+    });
+}
+
+fn bench_queue_drain(c: &mut Criterion) {
+    c.bench_function("compression/queue_drain_after_20k_deletes", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let t = sagiv(8);
+                let mut s = t.session();
+                for i in 0..N {
+                    t.insert(&mut s, i, i).unwrap();
+                }
+                for i in 0..N {
+                    if i % 4 != 0 {
+                        t.delete(&mut s, i).unwrap();
+                    }
+                }
+                let t0 = std::time::Instant::now();
+                t.compress_drain(&mut s, 10_000_000).unwrap();
+                total += t0.elapsed();
+            }
+            total
+        })
+    });
+}
+
+fn bench_fixpoint_collapse(c: &mut Criterion) {
+    c.bench_function("compression/collapse_emptied_20k", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let t = sagiv_no_compress(8);
+                let mut s = t.session();
+                for i in 0..N {
+                    t.insert(&mut s, i, i).unwrap();
+                }
+                for i in 0..N {
+                    t.delete(&mut s, i).unwrap();
+                }
+                let t0 = std::time::Instant::now();
+                t.compress_to_fixpoint(&mut s, 1024).unwrap();
+                total += t0.elapsed();
+                assert_eq!(t.height().unwrap(), 1);
+            }
+            total
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_scanner_pass, bench_queue_drain, bench_fixpoint_collapse
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Multi-threaded throughput across the three trees (criterion companion
+//! to the exp2_scalability binary; measures whole-workload wall time).
+
+use blink_bench::all_indexes;
+use blink_harness::runner::{preload, run_workload, RunConfig};
+use blink_workload::{KeyDist, Mix};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_concurrent(c: &mut Criterion) {
+    for (mix, label) in [(Mix::READ_HEAVY, "read_heavy"), (Mix::BALANCED, "balanced")] {
+        let mut group = c.benchmark_group(format!("concurrent_8t/{label}"));
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_secs(5));
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        for index in all_indexes(16) {
+            let cfg = RunConfig {
+                threads: 8,
+                ops_per_thread: 5_000,
+                key_space: 200_000,
+                dist: KeyDist::Uniform,
+                mix,
+                preload: 50_000,
+                seed: 21,
+                ..RunConfig::default()
+            };
+            preload(index.as_ref(), &cfg);
+            let ran = RunConfig {
+                preload: 0,
+                ..cfg.clone()
+            };
+            group.throughput(Throughput::Elements(
+                (ran.threads * ran.ops_per_thread) as u64,
+            ));
+            group.bench_function(index.name(), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = run_workload(&index, &ran);
+                        total += r.wall;
+                    }
+                    total
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_concurrent);
+criterion_main!(benches);

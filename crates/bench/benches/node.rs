@@ -1,0 +1,82 @@
+//! Microbenches for node-level primitives: codec, routing, split, rearrange.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sagiv_blink::key::Bound;
+use sagiv_blink::node::{rearrange, Node};
+
+fn full_leaf(n: usize) -> Node {
+    let mut node = Node::new_leaf();
+    for i in 0..n {
+        node.leaf_insert(i as u64 * 3, i as u64);
+    }
+    node.high = Bound::PosInf;
+    node
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let node = full_leaf(64);
+    let page = node.encode(4096);
+    c.bench_function("node/encode_64_pairs", |b| {
+        b.iter(|| black_box(node.encode(4096)))
+    });
+    c.bench_function("node/decode_64_pairs", |b| {
+        b.iter(|| Node::decode(black_box(&page)).unwrap())
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let node = full_leaf(64);
+    c.bench_function("node/leaf_get", |b| {
+        b.iter(|| black_box(node.leaf_get(black_box(93))))
+    });
+    c.bench_function("node/child_index", |b| {
+        b.iter(|| black_box(node.child_index(black_box(93))))
+    });
+}
+
+fn bench_split(c: &mut Criterion) {
+    let node = full_leaf(65);
+    c.bench_function("node/split_65_pairs", |b| {
+        b.iter_batched(
+            || node.clone(),
+            |mut n| black_box(n.split(blink_pagestore::PageId::from_raw(9).unwrap())),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rearrange(c: &mut Criterion) {
+    let make = || {
+        let mut a = full_leaf(3);
+        let mut b = Node::new_leaf();
+        for i in 100..140u64 {
+            b.leaf_insert(i * 3, i);
+        }
+        a.high = Bound::Key(90);
+        a.link = blink_pagestore::PageId::from_raw(2);
+        b.low = Bound::Key(90);
+        b.high = Bound::PosInf;
+        (a, b)
+    };
+    c.bench_function("node/rearrange_redistribute", |b| {
+        b.iter_batched(
+            make,
+            |(mut a, mut bb)| {
+                black_box(rearrange(
+                    &mut a,
+                    &mut bb,
+                    blink_pagestore::PageId::from_raw(1).unwrap(),
+                    16,
+                ))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_codec, bench_routing, bench_split, bench_rearrange
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Single-threaded operation cost across the three trees (baseline for the
+//! concurrency comparisons: without contention they should be comparable,
+//! with top-down paying its per-level rw-lock tax).
+
+use blink_baselines::ConcurrentIndex;
+use blink_bench::{all_indexes, sagiv};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+const PRELOAD: u64 = 20_000;
+
+fn preloaded(index: &Arc<dyn ConcurrentIndex>) {
+    let mut s = index.session();
+    for i in 0..PRELOAD {
+        index.insert(&mut s, i * 2, i).unwrap();
+    }
+}
+
+fn bench_ops(c: &mut Criterion) {
+    for index in all_indexes(16) {
+        preloaded(&index);
+        let mut s = index.session();
+
+        c.bench_function(&format!("{}/search_hit", index.name()), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7919 * 2) % (PRELOAD * 2);
+                black_box(index.search(&mut s, k & !1).unwrap())
+            })
+        });
+        c.bench_function(&format!("{}/search_miss", index.name()), |b| {
+            let mut k = 1u64;
+            b.iter(|| {
+                k = (k + 7919 * 2) % (PRELOAD * 2);
+                black_box(index.search(&mut s, k | 1).unwrap())
+            })
+        });
+        c.bench_function(&format!("{}/insert_delete_cycle", index.name()), |b| {
+            let mut k = 1u64;
+            b.iter(|| {
+                k = (k + 7919 * 2) % (PRELOAD * 2);
+                let key = k | 1;
+                black_box(index.insert(&mut s, key, key).unwrap());
+                black_box(index.delete(&mut s, key).unwrap());
+            })
+        });
+    }
+}
+
+fn bench_range(c: &mut Criterion) {
+    let tree = sagiv(16);
+    {
+        let mut s = tree.session();
+        for i in 0..PRELOAD {
+            tree.insert(&mut s, i, i).unwrap();
+        }
+    }
+    let mut s = tree.session();
+    c.bench_function("sagiv/range_100", |b| {
+        let mut lo = 0u64;
+        b.iter(|| {
+            lo = (lo + 997) % (PRELOAD - 100);
+            black_box(tree.range(&mut s, lo, lo + 99).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_ops, bench_range
+}
+criterion_main!(benches);

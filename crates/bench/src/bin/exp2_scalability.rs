@@ -1,0 +1,72 @@
+//! E2 — Throughput vs thread count (figure as a series table).
+//!
+//! Paper claim (§1): the single-lock protocol "allow\[s\] a higher degree of
+//! concurrency" than both the lock-coupling ascent of Lehman–Yao and the
+//! top-down solutions (whose readers serialize on root locks).
+//!
+//! Expected shape: all three are close at 1 thread; Sagiv ≥ Lehman–Yao ≥
+//! top-down as threads grow, with top-down flattening first (root rw-lock),
+//! and the gap widening under write-heavy mixes.
+
+use blink_bench::{all_indexes, banner, scale};
+use blink_harness::runner::{run_workload, RunConfig};
+use blink_harness::Table;
+use blink_workload::{KeyDist, Mix};
+
+fn main() {
+    banner(
+        "E2: throughput scalability (ops/s)",
+        "higher degree of concurrency than [8] and the top-down family",
+    );
+    let k = 16;
+    let threads = [1usize, 2, 4, 8, 16];
+    let mixes = [
+        ("read-heavy 95/5", Mix::READ_HEAVY, KeyDist::Uniform),
+        ("balanced 50/25/25", Mix::BALANCED, KeyDist::Uniform),
+        ("insert-only", Mix::INSERT_ONLY, KeyDist::Uniform),
+        (
+            "balanced zipf(.99)",
+            Mix::BALANCED,
+            KeyDist::Zipf { theta: 0.99 },
+        ),
+    ];
+
+    for (label, mix, dist) in mixes {
+        println!("-- mix: {label} --");
+        let mut table = Table::new(vec![
+            "threads",
+            "sagiv",
+            "lehman-yao",
+            "top-down",
+            "sagiv/topdown",
+        ]);
+        for &n in &threads {
+            let mut row = vec![n.to_string()];
+            let mut tputs = vec![];
+            for index in all_indexes(k) {
+                let cfg = RunConfig {
+                    threads: n,
+                    ops_per_thread: 0,
+                    duration: Some(std::time::Duration::from_millis(if blink_bench::quick() {
+                        250
+                    } else {
+                        1500
+                    })),
+                    key_space: 400_000,
+                    dist: dist.clone(),
+                    mix,
+                    preload: scale(100_000),
+                    seed: 2,
+                };
+                let r = run_workload(&index, &cfg);
+                assert_eq!(r.errors, 0, "{} errored", index.name());
+                tputs.push(r.ops_per_sec());
+                row.push(format!("{:.0}", r.ops_per_sec()));
+            }
+            row.push(format!("{:.2}x", tputs[0] / tputs[2].max(1.0)));
+            table.row(row);
+        }
+        print!("{table}");
+        println!();
+    }
+}

@@ -1,0 +1,111 @@
+//! E3 — Space behaviour under deletions (figure as a time-series table).
+//!
+//! Paper claims (§1, §5): \[8\] wastes space under deletion ("space may be
+//! wasted and the height of the tree may be bigger than necessary");
+//! Sagiv's compression keeps every node at least half full, releases empty
+//! nodes, and reduces the height. Both compression deployments (background
+//! scanner, queue workers fed by deletions) are measured.
+//!
+//! Expected shape: without compression, leaf count stays flat as pairs
+//! drain (fill → 0); with either compression mode, node count tracks the
+//! data and fill stays ≥ ~50%.
+
+use blink_bench::{banner, lehman_yao, sagiv, sagiv_no_compress, scale};
+use blink_harness::Table;
+use sagiv_blink::CompressorPool;
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "E3: space under delete-heavy load",
+        "compression keeps nodes >= half full and shrinks the tree; [8] never does",
+    );
+    let k = 8;
+    let n = scale(100_000);
+    let checkpoints = 10u64;
+
+    // Four configurations over an identical delete sequence.
+    let s_queue = sagiv(k);
+    let s_scan = sagiv_no_compress(k);
+    let s_none = sagiv_no_compress(k);
+    let ly = lehman_yao(k);
+
+    let mut qs = s_queue.session();
+    let mut ss = s_scan.session();
+    let mut ns = s_none.session();
+    let mut ls = ly.session();
+    for i in 0..n {
+        s_queue.insert(&mut qs, i, i).unwrap();
+        s_scan.insert(&mut ss, i, i).unwrap();
+        s_none.insert(&mut ns, i, i).unwrap();
+        ly.insert(&mut ls, i, i).unwrap();
+    }
+
+    let pool = CompressorPool::spawn(&s_queue, 2);
+
+    let mut table = Table::new(vec![
+        "deleted %",
+        "queue: leaves/fill",
+        "scanner: leaves/fill",
+        "none: leaves/fill",
+        "lehman-yao: leaves/fill",
+    ]);
+
+    let fill_of = |t: &Arc<sagiv_blink::BLinkTree>| {
+        let rep = t.verify(false).unwrap();
+        (rep.leaf_count, rep.avg_leaf_fill)
+    };
+
+    for cp in 1..=checkpoints {
+        let lo = (cp - 1) * n / checkpoints;
+        let hi = cp * n / checkpoints;
+        for i in lo..hi {
+            s_queue.delete(&mut qs, i).unwrap();
+            s_scan.delete(&mut ss, i).unwrap();
+            s_none.delete(&mut ns, i).unwrap();
+            ly.delete(&mut ls, i).unwrap();
+        }
+        // The scanner deployment runs a background pass per checkpoint.
+        let mut scan_sess = s_scan.session();
+        s_scan.compress_pass(&mut scan_sess).unwrap();
+        // Give queue workers a moment to keep up, as a live system would.
+        while s_queue.queue_len() > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let (ql, qf) = fill_of(&s_queue);
+        let (sl, sf) = fill_of(&s_scan);
+        let (nl, nf) = fill_of(&s_none);
+        let (lyl, _, lyf) = ly.leaf_stats().unwrap();
+        table.row(vec![
+            format!("{}%", cp * 100 / checkpoints),
+            format!("{ql} / {qf:.2}"),
+            format!("{sl} / {sf:.2}"),
+            format!("{nl} / {nf:.2}"),
+            format!("{lyl} / {lyf:.2}"),
+        ]);
+    }
+    pool.stop();
+
+    // Final heights after full deletion + a finishing fixpoint for the
+    // compressed deployments.
+    let mut qs2 = s_queue.session();
+    s_queue.compress_drain(&mut qs2, 1_000_000).unwrap();
+    s_queue.compress_to_fixpoint(&mut qs2, 64).unwrap();
+    let mut ss2 = s_scan.session();
+    s_scan.compress_to_fixpoint(&mut ss2, 64).unwrap();
+
+    print!("{table}");
+    println!();
+    println!(
+        "final height after deleting everything: queue={} scanner={} none={} lehman-yao={}",
+        s_queue.height().unwrap(),
+        s_scan.height().unwrap(),
+        s_none.height().unwrap(),
+        ly.height().unwrap(),
+    );
+    println!(
+        "pages reclaimed: queue={} scanner={}",
+        s_queue.counters().snapshot().reclaimed + s_queue.reclaim().unwrap() as u64,
+        s_scan.reclaim().unwrap(),
+    );
+}

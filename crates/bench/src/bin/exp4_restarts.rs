@@ -1,0 +1,69 @@
+//! E4 — Restart frequency under concurrent compression.
+//!
+//! Paper claim (§1, §5.2): restarting the occasional process that reaches a
+//! wrong node is cheaper than making everyone take locks, because "it is
+//! reasonable to assume that the problem occurs infrequently".
+//!
+//! Expected shape: restarts per 1000 operations stay tiny (≪ 1) even with
+//! several compression workers; merge-pointer follows (the cheap redirect
+//! that avoids a full restart) dominate over full restarts.
+
+use blink_baselines::ConcurrentIndex;
+use blink_bench::{banner, sagiv, scale};
+use blink_harness::runner::{run_workload, RunConfig};
+use blink_harness::Table;
+use blink_workload::{KeyDist, Mix};
+use sagiv_blink::CompressorPool;
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "E4: traversal restarts under compression",
+        "wrong-node restarts are infrequent; redirects via merge pointers are cheap",
+    );
+    let k = 8;
+    let mut table = Table::new(vec![
+        "compression workers",
+        "ops",
+        "restarts/kop",
+        "merge-ptr follows/kop",
+        "merges done",
+        "ops/s",
+    ]);
+
+    for workers in [0usize, 1, 2, 4] {
+        let tree = sagiv(k);
+        let pool = (workers > 0).then(|| CompressorPool::spawn(&tree, workers));
+        let index: Arc<dyn ConcurrentIndex> = Arc::clone(&tree) as _;
+        let cfg = RunConfig {
+            threads: 8,
+            ops_per_thread: scale(50_000) as usize,
+            key_space: 100_000,
+            dist: KeyDist::Uniform,
+            mix: Mix::DELETE_HEAVY, // 10s/10i/80d: maximum compression churn
+            preload: scale(100_000),
+            seed: 4,
+            ..RunConfig::default()
+        };
+        let r = run_workload(&index, &cfg);
+        if let Some(p) = pool {
+            p.stop();
+        }
+        let c = tree.counters().snapshot();
+        table.row(vec![
+            workers.to_string(),
+            r.total_ops.to_string(),
+            format!("{:.3}", r.restarts_per_kop()),
+            format!(
+                "{:.3}",
+                1000.0 * r.sessions.merge_pointer_follows as f64 / r.total_ops as f64
+            ),
+            c.merges.to_string(),
+            format!("{:.0}", r.ops_per_sec()),
+        ]);
+        assert_eq!(r.errors, 0);
+    }
+    print!("{table}");
+    println!();
+    println!("workers=0 keeps the queue idle: it is the no-compression control row.");
+}

@@ -1,0 +1,61 @@
+//! E5 — Link-chasing cost vs lock savings.
+//!
+//! Paper claim (§1): "A search in the tree may be prolonged as a result of
+//! having to move occasionally from a node to its right neighbor, but we
+//! feel that this is more than compensated for \[by\] the fact that a
+//! process has to obtain considerably fewer locks."
+//!
+//! The table reports, per algorithm and insert-pressure level: link follows
+//! per operation (the cost) and lock acquisitions per operation (the
+//! saving). Top-down has zero link follows by construction but pays a lock
+//! per level for every operation, readers included.
+
+use blink_bench::{all_indexes, banner, scale};
+use blink_harness::runner::{run_workload, RunConfig};
+use blink_harness::Table;
+use blink_workload::{KeyDist, Mix};
+
+fn main() {
+    banner(
+        "E5: link follows vs lock acquisitions per op",
+        "occasional link chases are cheaper than locking every node",
+    );
+    let k = 16;
+    let mut table = Table::new(vec![
+        "insert %",
+        "algorithm",
+        "links/op",
+        "locks/op",
+        "restarts/kop",
+        "ops/s",
+    ]);
+    for insert_pct in [5u8, 25, 50] {
+        let mix = Mix {
+            search_pct: 100 - insert_pct,
+            insert_pct,
+            delete_pct: 0,
+        };
+        for index in all_indexes(k) {
+            let cfg = RunConfig {
+                threads: 8,
+                ops_per_thread: scale(40_000) as usize,
+                key_space: 1_000_000,
+                dist: KeyDist::Uniform,
+                mix,
+                preload: scale(200_000),
+                seed: 5,
+                ..RunConfig::default()
+            };
+            let r = run_workload(&index, &cfg);
+            table.row(vec![
+                format!("{insert_pct}%"),
+                index.name().to_string(),
+                format!("{:.4}", r.links_per_op()),
+                format!("{:.2}", r.locks_per_op()),
+                format!("{:.3}", r.restarts_per_kop()),
+                format!("{:.0}", r.ops_per_sec()),
+            ]);
+        }
+    }
+    print!("{table}");
+}

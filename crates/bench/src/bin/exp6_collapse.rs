@@ -1,0 +1,58 @@
+//! E6 — Scanner passes to collapse an emptied tree.
+//!
+//! Paper claim (§5.1): "One pass of compress-level over all the levels of T
+//! is not going to reduce the tree to a single node; rather, O(log₂ n)
+//! passes over the tree are required, where n is the number of leaves."
+//!
+//! Expected shape: passes grow like log₂(leaves) — each pass merges
+//! adjacent sibling pairs, roughly halving the node count per level.
+
+use blink_bench::{banner, quick, sagiv_no_compress};
+use blink_harness::Table;
+
+fn main() {
+    banner(
+        "E6: scanner passes to collapse an emptied tree",
+        "O(log2 n) passes over the tree are required",
+    );
+    let k = 2; // small nodes -> tall trees -> clear logarithmic growth
+    let sizes: &[u64] = if quick() {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let mut table = Table::new(vec![
+        "keys",
+        "leaves before",
+        "height before",
+        "passes to single leaf",
+        "log2(leaves)",
+    ]);
+    for &n in sizes {
+        let t = sagiv_no_compress(k);
+        let mut s = t.session();
+        for i in 0..n {
+            t.insert(&mut s, i, i).unwrap();
+        }
+        let rep = t.verify(false).unwrap();
+        rep.assert_ok();
+        let leaves = rep.leaf_count;
+        let h = rep.height;
+        for i in 0..n {
+            t.delete(&mut s, i).unwrap();
+        }
+        let passes = t.compress_to_fixpoint(&mut s, 1024).unwrap();
+        assert_eq!(t.height().unwrap(), 1, "tree must fully collapse");
+        t.verify(false).unwrap().assert_ok();
+        table.row(vec![
+            n.to_string(),
+            leaves.to_string(),
+            h.to_string(),
+            passes.to_string(),
+            format!("{:.1}", (leaves as f64).log2()),
+        ]);
+    }
+    print!("{table}");
+    println!();
+    println!("each pass merges disjoint sibling pairs, halving each level: passes ~ log2.");
+}

@@ -1,0 +1,104 @@
+//! E8 — Serializability of the logical data (Theorems 1 and 2).
+//!
+//! Paper claim: every concurrent schedule of searches, insertions and
+//! deletions (with compressions running) is *data equivalent to a serial
+//! schedule*. Executable form: every recorded concurrent history must admit
+//! a per-key linearization consistent with real time and set semantics.
+//!
+//! Method: record complete histories under contention for all three trees
+//! across several seeds (a fresh tree per history) and run the Wing–Gong
+//! checker on each.
+
+use blink_baselines::ConcurrentIndex;
+use blink_bench::{banner, lehman_yao, sagiv, scale, topdown};
+use blink_harness::linearize::check_history;
+use blink_harness::runner::{preload_keys, run_recorded, RunConfig};
+use blink_harness::Table;
+use blink_workload::{KeyDist, Mix};
+use sagiv_blink::CompressorPool;
+use std::sync::Arc;
+
+fn main() {
+    banner(
+        "E8: histories are data-equivalent to a serial schedule",
+        "per-key linearizability of all recorded concurrent histories",
+    );
+    let k = 4;
+    let seeds: Vec<u64> = if blink_bench::quick() {
+        vec![11, 12]
+    } else {
+        (11..19).collect()
+    };
+    let mut table = Table::new(vec!["algorithm", "histories", "events checked", "result"]);
+
+    type Factory = Box<dyn Fn() -> Arc<dyn ConcurrentIndex>>;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("sagiv", Box::new(move || sagiv(k))),
+        ("lehman-yao", Box::new(move || lehman_yao(k))),
+        ("top-down", Box::new(move || topdown(k))),
+    ];
+
+    for (name, factory) in &factories {
+        let mut events_total = 0u64;
+        for &seed in &seeds {
+            let index = factory();
+            let cfg = RunConfig {
+                threads: 8,
+                ops_per_thread: scale(3_000) as usize,
+                key_space: 30_000, // hot enough to race, cool enough to check
+                dist: KeyDist::Uniform,
+                mix: Mix::BALANCED,
+                preload: 10_000,
+                seed,
+                ..RunConfig::default()
+            };
+            let initial = preload_keys(&cfg);
+            let (r, events) = run_recorded(&index, &cfg);
+            assert_eq!(r.errors, 0);
+            events_total += events.len() as u64;
+            check_history(&events, &initial)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: NOT linearizable: {e}"));
+        }
+        table.row(vec![
+            name.to_string(),
+            seeds.len().to_string(),
+            events_total.to_string(),
+            "linearizable".to_string(),
+        ]);
+    }
+
+    // Sagiv again, with live compression workers racing every history.
+    {
+        let mut events_total = 0u64;
+        for &seed in &seeds {
+            let tree = sagiv(2); // small nodes: compression happens constantly
+            let pool = CompressorPool::spawn(&tree, 2);
+            let index: Arc<dyn ConcurrentIndex> = Arc::clone(&tree) as _;
+            let cfg = RunConfig {
+                threads: 8,
+                ops_per_thread: scale(3_000) as usize,
+                key_space: 30_000,
+                dist: KeyDist::Uniform,
+                mix: Mix::CHURN,
+                preload: 10_000,
+                seed,
+                ..RunConfig::default()
+            };
+            let initial = preload_keys(&cfg);
+            let (r, events) = run_recorded(&index, &cfg);
+            pool.stop();
+            assert_eq!(r.errors, 0);
+            events_total += events.len() as u64;
+            check_history(&events, &initial)
+                .unwrap_or_else(|e| panic!("sagiv+compress seed {seed}: NOT linearizable: {e}"));
+        }
+        table.row(vec![
+            "sagiv + 2 compressors".to_string(),
+            seeds.len().to_string(),
+            events_total.to_string(),
+            "linearizable".to_string(),
+        ]);
+    }
+
+    print!("{table}");
+}

@@ -1,0 +1,131 @@
+//! E9 — Ablations of the paper's design details.
+//!
+//! Two details the paper singles out:
+//!
+//! 1. **Write ordering** (§5.2 + acknowledgment): "the child which gains
+//!    new data should be rewritten first and then the parent and the other
+//!    child", which confines wrong-node restarts to the B→A-shift case.
+//!    Ablation: always write left child → parent → right child.
+//! 2. **Merge pointers** (§5.2 case 1, after \[4\]): a deleted node points at
+//!    the node that absorbed it, so a reader "continues to A instead of
+//!    having to restart". Ablation: deleted nodes carry no pointer.
+//!
+//! Plus the deployment comparison the abstract offers: queue workers vs
+//! compressing inline after each deletion.
+//!
+//! Expected shape: ablations stay correct but pay more restarts; inline
+//! compression trades deleter latency for zero background threads.
+
+use blink_baselines::ConcurrentIndex;
+use blink_bench::{banner, fresh_store, scale};
+use blink_harness::runner::{run_workload, RunConfig};
+use blink_harness::Table;
+use blink_workload::{KeyDist, Mix};
+use sagiv_blink::{BLinkTree, CompressorPool, TreeConfig, UnderflowPolicy};
+use std::sync::Arc;
+
+fn run_variant(name: &str, cfg_tree: TreeConfig, table: &mut Table) {
+    let tree = BLinkTree::create(fresh_store(), cfg_tree.clone()).unwrap();
+    let workers = match cfg_tree.underflow_policy {
+        UnderflowPolicy::Enqueue => Some(CompressorPool::spawn(&tree, 2)),
+        _ => None,
+    };
+    let index: Arc<dyn ConcurrentIndex> = Arc::clone(&tree) as _;
+    let run = RunConfig {
+        threads: 8,
+        ops_per_thread: scale(60_000) as usize,
+        // A small, hot key space with small nodes keeps compression racing
+        // the readers, which is what the ablated details are about.
+        key_space: 4_000,
+        dist: KeyDist::Zipf { theta: 0.9 },
+        mix: Mix {
+            search_pct: 40,
+            insert_pct: 30,
+            delete_pct: 30,
+        },
+        preload: 4_000,
+        seed: 9,
+        ..RunConfig::default()
+    };
+    let r = run_workload(&index, &run);
+    if let Some(p) = workers {
+        p.stop();
+    }
+    assert_eq!(r.errors, 0, "{name}: operations errored");
+    let c = tree.counters().snapshot();
+    table.row(vec![
+        name.to_string(),
+        format!("{:.3}", r.restarts_per_kop()),
+        format!(
+            "{:.3}",
+            1000.0 * r.sessions.merge_pointer_follows as f64 / r.total_ops.max(1) as f64
+        ),
+        c.merges.to_string(),
+        c.redistributes.to_string(),
+        format!("{:.0}", r.ops_per_sec()),
+        format!("{}", r.delete_lat.percentile(99.0) / 1000),
+    ]);
+    // Ablations must never compromise correctness.
+    let mut s = tree.session();
+    tree.compress_drain(&mut s, 2_000_000).unwrap();
+    tree.verify(false).unwrap().assert_ok();
+}
+
+fn main() {
+    banner(
+        "E9: design-detail ablations",
+        "gainer-first writes confine restarts; merge pointers avoid them; \
+         inline compression needs no background threads",
+    );
+    let k = 2;
+    let mut table = Table::new(vec![
+        "variant",
+        "restarts/kop",
+        "merge-ptr/kop",
+        "merges",
+        "redistr.",
+        "ops/s",
+        "p99 delete (us)",
+    ]);
+    run_variant(
+        "paper (queue, 2 workers)",
+        TreeConfig::with_k(k),
+        &mut table,
+    );
+    run_variant(
+        "naive write order",
+        TreeConfig {
+            gainer_first_writes: false,
+            ..TreeConfig::with_k(k)
+        },
+        &mut table,
+    );
+    run_variant(
+        "no merge pointers",
+        TreeConfig {
+            merge_pointers: false,
+            ..TreeConfig::with_k(k)
+        },
+        &mut table,
+    );
+    run_variant(
+        "both ablated",
+        TreeConfig {
+            gainer_first_writes: false,
+            merge_pointers: false,
+            ..TreeConfig::with_k(k)
+        },
+        &mut table,
+    );
+    run_variant(
+        "inline compression",
+        TreeConfig::with_k_and_policy(k, UnderflowPolicy::Inline),
+        &mut table,
+    );
+    run_variant(
+        "no compression ([8])",
+        TreeConfig::with_k_and_policy(k, UnderflowPolicy::Ignore),
+        &mut table,
+    );
+    print!("{table}");
+}

@@ -1,0 +1,44 @@
+//! F1 — The paper's Fig. 1: layout of a typical node.
+//!
+//! Renders live nodes from a real tree in the `p0 v1 p1 v2 … vi pi` layout,
+//! showing the Blink extensions (high value, link) and Sagiv's additions
+//! (explicit low value, deletion bit / merge pointer).
+
+use blink_bench::{banner, sagiv};
+use sagiv_blink::dump::render_node;
+
+fn main() {
+    banner(
+        "F1: node layout (paper Fig. 1)",
+        "internal node = p0 v1 p1 v2 ... vi pi",
+    );
+    let t = sagiv(2);
+    let mut s = t.session();
+    for i in 1..=40u64 {
+        t.insert(&mut s, i * 10, i * 100).unwrap();
+    }
+    let prime = t.prime_snapshot().unwrap();
+    println!("an internal node (level 1):");
+    let lvl1 = prime.leftmost_at(1).unwrap();
+    let node = t.read_node(lvl1).unwrap();
+    println!("  {}", render_node(lvl1, &node));
+    println!();
+    println!("its first two children (leaves, level 0):");
+    let c0 = node.pointer(0);
+    let c1 = node.pointer(1);
+    for pid in [c0, c1] {
+        println!("  {}", render_node(pid, &t.read_node(pid).unwrap()));
+    }
+    println!();
+    println!(
+        "note: child P{}'s high value equals the value following its pointer in the",
+        c0.to_raw()
+    );
+    println!(
+        "parent, and its link points at P{} — the Fig. 2 identification.",
+        c1.to_raw()
+    );
+    println!();
+    println!("full tree:");
+    print!("{}", t.render().unwrap());
+}

@@ -1,0 +1,79 @@
+//! F2 — The paper's Fig. 2: "level i+1 is actually repeated at level i".
+//!
+//! Prints, for every nonleaf level of a random tree, the flat (value,
+//! pointer) sequence of the level side by side with the (high value, link)
+//! sequence of the level below, and checks they are identical — the
+//! observation the whole overtaking argument rests on.
+
+use blink_bench::{banner, sagiv, scale};
+use sagiv_blink::Bound;
+
+fn main() {
+    banner(
+        "F2: the level-repetition invariant (paper Fig. 2)",
+        "ignore p0 and links: level i+1 = the (high value, link) sequence of level i",
+    );
+    let t = sagiv(2);
+    let mut s = t.session();
+    let n = scale(2_000);
+    for i in 0..n {
+        t.insert(&mut s, (i * 2654435761) % 1_000_000, i).ok();
+    }
+    // Mix in deletions + compression so the invariant is shown to survive
+    // restructuring, not just insertion.
+    for i in 0..n / 2 {
+        t.delete(&mut s, (i * 2654435761) % 1_000_000).ok();
+    }
+    t.compress_to_fixpoint(&mut s, 64).unwrap();
+
+    let prime = t.prime_snapshot().unwrap();
+    for level in (1..prime.height as u8).rev() {
+        // Flat pair sequence at `level` (ignoring each node's p0 and links):
+        let mut above: Vec<(Bound, u32)> = Vec::new();
+        let mut cur = prime.leftmost_at(level);
+        let mut first = true;
+        while let Some(pid) = cur {
+            let node = t.read_node(pid).unwrap();
+            if !first {
+                above.push((node.low, node.p0.unwrap().to_raw()));
+            }
+            first = false;
+            for &(k, p) in &node.entries {
+                above.push((Bound::Key(k), p as u32));
+            }
+            cur = node.link;
+        }
+        // (high, link) sequence at `level - 1`:
+        let mut below: Vec<(Bound, u32)> = Vec::new();
+        let mut cur = prime.leftmost_at(level - 1);
+        while let Some(pid) = cur {
+            let node = t.read_node(pid).unwrap();
+            if let Some(link) = node.link {
+                below.push((node.high, link.to_raw()));
+            }
+            cur = node.link;
+        }
+        println!(
+            "level {level} pairs ({}) vs level {} (high, link) pairs ({}):",
+            above.len(),
+            level - 1,
+            below.len()
+        );
+        let show = above.len().min(6);
+        let render = |v: &[(Bound, u32)]| -> String {
+            v.iter()
+                .take(show)
+                .map(|(b, p)| format!("({b}, P{p})"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("  above: {} ...", render(&above));
+        println!("  below: {} ...", render(&below));
+        assert_eq!(above, below, "Fig. 2 invariant violated at level {level}");
+        println!("  identical: yes ({} pairs)", above.len());
+        println!();
+    }
+    // And the machine-checked version over the whole structure:
+    t.verify(false).unwrap().assert_ok();
+    println!("full structural verification (incl. Fig. 2 at every level): OK");
+}

@@ -1,0 +1,106 @@
+//! Background compression services.
+//!
+//! §5.4: "The advantage of this approach is the ability to dynamically
+//! change the number of compression processes according to the load on the
+//! system. A compression process can be stopped as soon as it finishes
+//! compressing a node." [`CompressorPool`] spawns N queue workers;
+//! [`ScannerDaemon`] runs §5.1 passes "in the background as a low priority
+//! job". Both run concurrently with every other operation and also drive
+//! deferred reclamation.
+
+use crate::tree::BLinkTree;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A pool of §5.4 queue-compression workers.
+#[derive(Debug)]
+pub struct CompressorPool {
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl CompressorPool {
+    /// Spawns `n` worker threads over the tree's shared queue.
+    pub fn spawn(tree: &Arc<BLinkTree>, n: usize) -> CompressorPool {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..n)
+            .map(|w| {
+                let tree = Arc::clone(tree);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("blink-compress-{w}"))
+                    .spawn(move || {
+                        let mut session = tree.session();
+                        let mut idle: u32 = 0;
+                        while !stop.load(Ordering::Relaxed) {
+                            use crate::compress::worker::CompressStep::*;
+                            match tree.compress_step(&mut session) {
+                                Ok(Done) | Ok(Discarded) => idle = 0,
+                                Ok(Idle) | Ok(Requeued) => {
+                                    idle = idle.saturating_add(1);
+                                    std::thread::sleep(Duration::from_micros(
+                                        (50 << idle.min(6)) as u64,
+                                    ));
+                                }
+                                Err(_) => {
+                                    // Bounded-retry exhaustion under extreme
+                                    // churn: back off and keep serving.
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                            }
+                            // Workers opportunistically release deleted pages.
+                            let _ = tree.reclaim();
+                        }
+                    })
+                    .expect("spawn compression worker")
+            })
+            .collect();
+        CompressorPool { stop, handles }
+    }
+
+    /// Signals the workers and waits for them to exit.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles {
+            h.join().expect("compression worker panicked");
+        }
+    }
+}
+
+/// A §5.1 background scanner: repeats full passes with a pause between.
+#[derive(Debug)]
+pub struct ScannerDaemon {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl ScannerDaemon {
+    /// Spawns the scanner; it sleeps `pause` between passes.
+    pub fn spawn(tree: &Arc<BLinkTree>, pause: Duration) -> ScannerDaemon {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let tree = Arc::clone(tree);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("blink-scanner".to_string())
+                .spawn(move || {
+                    let mut session = tree.session();
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = tree.compress_pass(&mut session);
+                        let _ = tree.reclaim();
+                        std::thread::sleep(pause);
+                    }
+                })
+                .expect("spawn scanner daemon")
+        };
+        ScannerDaemon { stop, handle }
+    }
+
+    /// Signals the scanner and waits for it to exit.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("scanner daemon panicked");
+    }
+}

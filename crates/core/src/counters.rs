@@ -1,0 +1,111 @@
+//! Tree-wide event counters (splits, merges, compression activity).
+//!
+//! These complement the per-process [`blink_pagestore::SessionStats`]: the
+//! experiments report both (e.g. E3 tracks merges/redistributes over time,
+//! E4 correlates restarts with compression events).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed atomic counters for structural events.
+#[derive(Debug, Default)]
+pub struct TreeCounters {
+    /// Node splits (insert-into-unsafe).
+    pub splits: AtomicU64,
+    /// Root splits (insert-into-unsafe-root): a new root was created.
+    pub root_splits: AtomicU64,
+    /// Sibling merges performed by compression.
+    pub merges: AtomicU64,
+    /// Sibling redistributions performed by compression.
+    pub redistributes: AtomicU64,
+    /// Levels removed by root collapses.
+    pub root_collapses: AtomicU64,
+    /// Nodes enqueued for compression (deletion underflow or cascades).
+    pub enqueues: AtomicU64,
+    /// Queue items put back for later (§5.4's "put A back on the queue").
+    pub requeues: AtomicU64,
+    /// Queue items discarded because another process is responsible
+    /// (Theorem 2's "the process discards A").
+    pub discards: AtomicU64,
+    /// Bounded waits taken where the paper says "wait for a while"
+    /// (§3.3 prime race, §5.2 pending parent pointer).
+    pub waits: AtomicU64,
+    /// Pages released by deferred reclamation.
+    pub reclaimed: AtomicU64,
+}
+
+/// Point-in-time copy of [`TreeCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub splits: u64,
+    pub root_splits: u64,
+    pub merges: u64,
+    pub redistributes: u64,
+    pub root_collapses: u64,
+    pub enqueues: u64,
+    pub requeues: u64,
+    pub discards: u64,
+    pub waits: u64,
+    pub reclaimed: u64,
+}
+
+impl TreeCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            splits: self.splits.load(Ordering::Relaxed),
+            root_splits: self.root_splits.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            redistributes: self.redistributes.load(Ordering::Relaxed),
+            root_collapses: self.root_collapses.load(Ordering::Relaxed),
+            enqueues: self.enqueues.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CountersSnapshot {
+    /// Element-wise `self - earlier`.
+    pub fn delta(&self, earlier: &CountersSnapshot) -> CountersSnapshot {
+        CountersSnapshot {
+            splits: self.splits - earlier.splits,
+            root_splits: self.root_splits - earlier.root_splits,
+            merges: self.merges - earlier.merges,
+            redistributes: self.redistributes - earlier.redistributes,
+            root_collapses: self.root_collapses - earlier.root_collapses,
+            enqueues: self.enqueues - earlier.enqueues,
+            requeues: self.requeues - earlier.requeues,
+            discards: self.discards - earlier.discards,
+            waits: self.waits - earlier.waits,
+            reclaimed: self.reclaimed - earlier.reclaimed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let c = TreeCounters::default();
+        TreeCounters::bump(&c.splits);
+        let a = c.snapshot();
+        TreeCounters::bump(&c.splits);
+        TreeCounters::add(&c.merges, 3);
+        let d = c.snapshot().delta(&a);
+        assert_eq!(d.splits, 1);
+        assert_eq!(d.merges, 3);
+        assert_eq!(d.root_splits, 0);
+    }
+}

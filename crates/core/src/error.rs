@@ -1,0 +1,72 @@
+//! Tree-level errors.
+
+use blink_pagestore::StoreError;
+use std::fmt;
+
+/// Errors surfaced by tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Underlying storage failed in a way the protocol does not absorb.
+    Store(StoreError),
+    /// A traversal restarted more than the configured bound — either the
+    /// workload is pathological (constant splitting, §5.2's "waiting
+    /// forever" caveat) or there is a bug. The paper's formal proofs assume
+    /// finite schedules; this bound is the engineering analogue.
+    TooManyRestarts { attempts: u64 },
+    /// On-page data failed validation.
+    Corrupt(&'static str),
+    /// Invalid configuration.
+    Config(&'static str),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Store(e) => write!(f, "storage error: {e}"),
+            TreeError::TooManyRestarts { attempts } => {
+                write!(f, "traversal restarted {attempts} times without progress")
+            }
+            TreeError::Corrupt(what) => write!(f, "corrupt tree: {what}"),
+            TreeError::Config(what) => write!(f, "invalid tree configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TreeError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for TreeError {
+    fn from(e: StoreError) -> TreeError {
+        TreeError::Store(e)
+    }
+}
+
+/// Convenience alias for tree operations.
+pub type Result<T> = std::result::Result<T, TreeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TreeError::Store(StoreError::Corrupt("bad magic"));
+        assert!(e.to_string().contains("bad magic"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = TreeError::TooManyRestarts { attempts: 42 };
+        assert!(e.to_string().contains("42"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn from_store_error() {
+        let e: TreeError = StoreError::Corrupt("x").into();
+        assert_eq!(e, TreeError::Store(StoreError::Corrupt("x")));
+    }
+}

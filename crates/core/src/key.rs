@@ -1,0 +1,165 @@
+//! Keys and bounds.
+//!
+//! Keys are `u64`. A node's *low value* (v₀) and *high value* (v_{i+1}) range
+//! over keys extended with −∞ and +∞ (§2.1: "we may assume that v₀ is −∞ and
+//! v_{i+1} is +∞"; the rightmost node at each level has +∞ as its high
+//! value). [`Bound`] is that extended domain, with the obvious total order.
+
+/// A key value. The tree is a dense index from keys to record pointers.
+pub type Key = u64;
+
+/// A key bound: a key extended with −∞ / +∞.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// −∞: the low value of the leftmost node at each level.
+    NegInf,
+    /// An ordinary key value.
+    Key(Key),
+    /// +∞: the high value of the rightmost node at each level.
+    PosInf,
+}
+
+impl Bound {
+    /// The key inside, if finite.
+    pub fn key(self) -> Option<Key> {
+        match self {
+            Bound::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The key inside; panics on ±∞ (used where the protocol guarantees
+    /// finiteness, e.g. the high value of a node that has a right sibling).
+    pub fn expect_key(self, what: &str) -> Key {
+        match self {
+            Bound::Key(k) => k,
+            other => panic!("expected finite bound for {what}, got {other:?}"),
+        }
+    }
+
+    /// `true` iff a search key `v` belongs in a node with bounds
+    /// `(low, high]` — i.e. `low < v ≤ high` (§2.1).
+    pub fn contains(low: Bound, high: Bound, v: Key) -> bool {
+        low < Bound::Key(v) && Bound::Key(v) <= high
+    }
+
+    /// On-page tag byte.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Bound::NegInf => 0,
+            Bound::Key(_) => 1,
+            Bound::PosInf => 2,
+        }
+    }
+
+    /// On-page key payload (0 for infinities).
+    pub(crate) fn payload(self) -> u64 {
+        match self {
+            Bound::Key(k) => k,
+            _ => 0,
+        }
+    }
+
+    /// Decodes the on-page form.
+    pub(crate) fn decode(tag: u8, payload: u64) -> Option<Bound> {
+        match tag {
+            0 => Some(Bound::NegInf),
+            1 => Some(Bound::Key(payload)),
+            2 => Some(Bound::PosInf),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Bound) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Bound) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Bound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Equal,
+            (NegInf, _) | (_, PosInf) => Less,
+            (_, NegInf) | (PosInf, _) => Greater,
+            (Key(a), Key(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl From<Key> for Bound {
+    fn from(k: Key) -> Bound {
+        Bound::Key(k)
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::NegInf => write!(f, "-inf"),
+            Bound::Key(k) => write!(f, "{k}"),
+            Bound::PosInf => write!(f, "+inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        assert!(Bound::NegInf < Bound::Key(0));
+        assert!(Bound::Key(0) < Bound::Key(1));
+        assert!(Bound::Key(u64::MAX) < Bound::PosInf);
+        assert!(Bound::NegInf < Bound::PosInf);
+        assert_eq!(Bound::Key(5), Bound::Key(5));
+        assert_eq!(Bound::NegInf, Bound::NegInf);
+        assert_eq!(Bound::PosInf, Bound::PosInf);
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        // (low, high] — a node with high h contains h, not low.
+        assert!(Bound::contains(Bound::Key(10), Bound::Key(20), 20));
+        assert!(!Bound::contains(Bound::Key(10), Bound::Key(20), 10));
+        assert!(Bound::contains(Bound::Key(10), Bound::Key(20), 11));
+        assert!(!Bound::contains(Bound::Key(10), Bound::Key(20), 21));
+        assert!(Bound::contains(Bound::NegInf, Bound::PosInf, 0));
+        assert!(Bound::contains(Bound::NegInf, Bound::PosInf, u64::MAX));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for b in [
+            Bound::NegInf,
+            Bound::Key(0),
+            Bound::Key(12345),
+            Bound::PosInf,
+        ] {
+            assert_eq!(Bound::decode(b.tag(), b.payload()), Some(b));
+        }
+        assert_eq!(Bound::decode(9, 0), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bound::NegInf.to_string(), "-inf");
+        assert_eq!(Bound::Key(7).to_string(), "7");
+        assert_eq!(Bound::PosInf.to_string(), "+inf");
+    }
+
+    #[test]
+    fn expect_key_on_finite() {
+        assert_eq!(Bound::Key(3).expect_key("x"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected finite bound")]
+    fn expect_key_on_infinite_panics() {
+        Bound::PosInf.expect_key("high value");
+    }
+}

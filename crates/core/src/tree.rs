@@ -1,0 +1,297 @@
+//! The B\*-tree handle and low-level page plumbing.
+//!
+//! [`BLinkTree`] owns the page store, the prime block, the compression
+//! queue, the deferred free list and the session registry. The actual
+//! protocols live in sibling modules: traversal in [`crate::traverse`],
+//! the logical operations in [`crate::ops`], compression in
+//! [`crate::compress`].
+
+use crate::compress::queue::CompressionQueue;
+use crate::config::TreeConfig;
+use crate::counters::TreeCounters;
+use crate::error::{Result, TreeError};
+use crate::node::Node;
+use crate::prime::PrimeBlock;
+use blink_pagestore::{
+    DeferredFreeList, LogicalClock, PageId, PageStore, Session, SessionRegistry, StoreError,
+};
+use std::sync::Arc;
+
+/// Outcome of an insertion (§3.2: an insertion of an existing key reports
+/// "v is already in the tree" and makes no changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The pair was added.
+    Inserted,
+    /// The key was already present; nothing changed.
+    Duplicate,
+}
+
+/// A concurrent B\*-tree (Blink-tree) with overtaking insertions and
+/// concurrent compression, per Sagiv (JCSS 1986).
+///
+/// All operations take a [`Session`] (the paper's *process*): obtain one per
+/// worker thread with [`BLinkTree::session`]. The tree itself is `Sync`;
+/// share it through an `Arc`.
+#[derive(Debug)]
+pub struct BLinkTree {
+    pub(crate) store: Arc<PageStore>,
+    pub(crate) cfg: TreeConfig,
+    pub(crate) prime_pid: PageId,
+    pub(crate) clock: Arc<LogicalClock>,
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) freelist: DeferredFreeList,
+    pub(crate) queue: CompressionQueue,
+    pub(crate) counters: TreeCounters,
+}
+
+impl BLinkTree {
+    /// Creates a fresh tree in `store`: a prime block plus one empty leaf
+    /// that is the initial root.
+    pub fn create(store: Arc<PageStore>, cfg: TreeConfig) -> Result<Arc<BLinkTree>> {
+        cfg.validate(store.page_size())?;
+        let clock = Arc::new(LogicalClock::new());
+        let registry = SessionRegistry::new(Arc::clone(&clock));
+        let prime_pid = store.alloc();
+        let root = store.alloc();
+        let mut leaf = Node::new_leaf();
+        leaf.is_root = true;
+        store.put(root, &leaf.encode(store.page_size()))?;
+        store.put(
+            prime_pid,
+            &PrimeBlock::initial(root).encode(store.page_size()),
+        )?;
+        Ok(Arc::new(BLinkTree {
+            store,
+            cfg,
+            prime_pid,
+            clock,
+            registry,
+            freelist: DeferredFreeList::new(),
+            queue: CompressionQueue::new(),
+            counters: TreeCounters::default(),
+        }))
+    }
+
+    /// Re-opens a tree previously created in `store` (the prime block's
+    /// address "must be known to the operating system", §3.3 — callers keep
+    /// it; `create` always places it in the store's first page). Validates
+    /// the prime block and the root before returning.
+    pub fn open(
+        store: Arc<PageStore>,
+        cfg: TreeConfig,
+        prime_pid: PageId,
+    ) -> Result<Arc<BLinkTree>> {
+        cfg.validate(store.page_size())?;
+        let prime = PrimeBlock::decode(&store.get(prime_pid)?)?;
+        let root = Node::decode(&store.get(prime.root)?)?;
+        if !root.is_root || root.deleted {
+            return Err(TreeError::Corrupt("prime block points to a non-root node"));
+        }
+        if u32::from(root.level) + 1 != prime.height {
+            return Err(TreeError::Corrupt("root level disagrees with prime height"));
+        }
+        let clock = Arc::new(LogicalClock::new());
+        let registry = SessionRegistry::new(Arc::clone(&clock));
+        Ok(Arc::new(BLinkTree {
+            store,
+            cfg,
+            prime_pid,
+            clock,
+            registry,
+            freelist: DeferredFreeList::new(),
+            queue: CompressionQueue::new(),
+            counters: TreeCounters::default(),
+        }))
+    }
+
+    /// The prime block's page id (pass to [`BLinkTree::open`] to re-attach).
+    pub fn prime_page(&self) -> PageId {
+        self.prime_pid
+    }
+
+    /// Opens a session (a worker identity). One per thread.
+    pub fn session(&self) -> Session {
+        self.registry.open()
+    }
+
+    /// Tree configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.cfg
+    }
+
+    /// The underlying store (for stats and experiments).
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    /// Structural event counters.
+    pub fn counters(&self) -> &TreeCounters {
+        &self.counters
+    }
+
+    /// The compression queue length (0 when fully compressed or when
+    /// `enqueue_on_underflow` is off).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pages awaiting deferred reclamation.
+    pub fn pending_reclaim(&self) -> usize {
+        self.freelist.pending_count()
+    }
+
+    /// Current height (number of levels).
+    pub fn height(&self) -> Result<u32> {
+        Ok(self.read_prime()?.height)
+    }
+
+    /// Releases deleted pages whose deletion time precedes every running
+    /// process's start time *and* every queued compression stack's stamp —
+    /// the §5.3/§5.4 rule. Safe to call from any thread at any time.
+    pub fn reclaim(&self) -> Result<usize> {
+        let horizon = self
+            .registry
+            .min_active_start()
+            .min(self.queue.min_stamp().unwrap_or(u64::MAX));
+        let n = self.freelist.reclaim(horizon, &self.store)?;
+        TreeCounters::add(&self.counters.reclaimed, n as u64);
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Page-level plumbing.
+    // ------------------------------------------------------------------
+
+    /// Reads and decodes a node; hard-fails on any problem. Inside the
+    /// protocols this is used only when the page is guaranteed live (e.g. a
+    /// child whose parent is locked); it is public for tools, figures and
+    /// tests that inspect quiesced trees.
+    pub fn read_node(&self, pid: PageId) -> Result<Node> {
+        Node::decode(&self.store.get(pid)?)
+    }
+
+    /// Reads a node defensively: `Ok(None)` when the page was freed,
+    /// reallocated to something undecodable, or out of bounds — all of
+    /// which traversals answer with a restart (§5.2).
+    pub(crate) fn try_read_node(&self, pid: PageId) -> Result<Option<Node>> {
+        match self.store.get(pid) {
+            Ok(page) => match Node::decode(&page) {
+                Ok(n) => Ok(Some(n)),
+                Err(TreeError::Corrupt(_)) => Ok(None),
+                Err(e) => Err(e),
+            },
+            Err(StoreError::PageFreed(_)) | Err(StoreError::OutOfBounds(_)) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Encodes and writes a node (one indivisible `put`).
+    pub(crate) fn write_node(&self, pid: PageId, node: &Node) -> Result<()> {
+        self.store.put(pid, &node.encode(self.store.page_size()))?;
+        Ok(())
+    }
+
+    /// Reads the prime block.
+    pub(crate) fn read_prime(&self) -> Result<PrimeBlock> {
+        PrimeBlock::decode(&self.store.get(self.prime_pid)?)
+    }
+
+    /// Rewrites the prime block. Callers must hold the lock on the current
+    /// root (§3.3: "a process rewrites it only when it has a lock on the
+    /// root"), which is what makes the lockless write race-free.
+    pub(crate) fn write_prime(&self, prime: &PrimeBlock) -> Result<()> {
+        self.store
+            .put(self.prime_pid, &prime.encode(self.store.page_size()))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_pagestore::StoreConfig;
+
+    fn tree(k: usize) -> Arc<BLinkTree> {
+        let store = PageStore::new(StoreConfig::with_page_size(4096));
+        BLinkTree::create(store, TreeConfig::with_k(k)).unwrap()
+    }
+
+    #[test]
+    fn create_initializes_single_leaf_root() {
+        let t = tree(4);
+        assert_eq!(t.height().unwrap(), 1);
+        let prime = t.read_prime().unwrap();
+        let root = t.read_node(prime.root).unwrap();
+        assert!(root.is_leaf());
+        assert!(root.is_root);
+        assert_eq!(root.pairs(), 0);
+        assert_eq!(root.low, crate::key::Bound::NegInf);
+        assert_eq!(root.high, crate::key::Bound::PosInf);
+        assert_eq!(root.link, None);
+        assert_eq!(prime.leftmost_at(0), Some(prime.root));
+    }
+
+    #[test]
+    fn create_rejects_bad_config() {
+        let store = PageStore::new(StoreConfig::with_page_size(4096));
+        assert!(BLinkTree::create(store, TreeConfig::with_k(0)).is_err());
+    }
+
+    #[test]
+    fn reclaim_on_fresh_tree_is_noop() {
+        let t = tree(4);
+        assert_eq!(t.reclaim().unwrap(), 0);
+        assert_eq!(t.pending_reclaim(), 0);
+        assert_eq!(t.queue_len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod open_tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use blink_pagestore::StoreConfig;
+
+    #[test]
+    fn open_reattaches_to_existing_tree() {
+        let store = PageStore::new(StoreConfig::with_page_size(4096));
+        let prime_pid;
+        {
+            let t = BLinkTree::create(Arc::clone(&store), TreeConfig::with_k(2)).unwrap();
+            prime_pid = t.prime_page();
+            let mut s = t.session();
+            for i in 0..300u64 {
+                t.insert(&mut s, i, i * 2).unwrap();
+            }
+        } // handle dropped; pages persist in the store
+        let t2 = BLinkTree::open(Arc::clone(&store), TreeConfig::with_k(2), prime_pid).unwrap();
+        let mut s = t2.session();
+        for i in 0..300u64 {
+            assert_eq!(t2.search(&mut s, i).unwrap(), Some(i * 2));
+        }
+        t2.insert(&mut s, 1000, 1).unwrap();
+        assert_eq!(t2.search(&mut s, 1000).unwrap(), Some(1));
+        t2.verify(false).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage_prime() {
+        let store = PageStore::new(StoreConfig::with_page_size(4096));
+        let junk = store.alloc();
+        assert!(BLinkTree::open(store, TreeConfig::with_k(2), junk).is_err());
+    }
+
+    #[test]
+    fn open_rejects_stale_root_pointer() {
+        let store = PageStore::new(StoreConfig::with_page_size(4096));
+        let t = BLinkTree::create(Arc::clone(&store), TreeConfig::with_k(2)).unwrap();
+        let prime_pid = t.prime_page();
+        // Corrupt: clear the root bit behind the tree's back.
+        let prime = t.read_prime().unwrap();
+        let mut root = t.read_node(prime.root).unwrap();
+        root.is_root = false;
+        t.write_node(prime.root, &root).unwrap();
+        assert!(BLinkTree::open(store, TreeConfig::with_k(2), prime_pid).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-key linearizability checking (Wing & Gong style).
+//!
+//! Theorems 1 and 2 state that concurrent schedules are *data equivalent to
+//! a serial schedule*, with the precedence relation defined per key (two
+//! logical operations are ordered by their last physical operations on the
+//! same leaf). Because distinct keys commute in a set ADT, the whole
+//! history is serializable iff **each key's** subhistory is linearizable
+//! against the presence/absence register semantics:
+//!
+//! * `search` returns found ⟺ the key is present;
+//! * `insert` returns inserted ⟺ the key was absent (then it is present);
+//! * `delete` returns deleted ⟺ the key was present (then it is absent).
+//!
+//! The checker searches for a linearization respecting real time: an event
+//! may be linearized first among the pending ones only if no other pending
+//! event *finished* before it *started*.
+
+use std::collections::{HashMap, HashSet};
+
+/// What an operation observed/did (its return value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventResult {
+    /// `search`: whether the key was found.
+    SearchFound(bool),
+    /// `insert`: whether the key was newly inserted (false = duplicate).
+    Inserted(bool),
+    /// `delete`: whether the key was present and removed.
+    Deleted(bool),
+}
+
+/// One completed operation with its real-time interval (ns from a common
+/// epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub key: u64,
+    pub result: EventResult,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+/// Checks a whole history. `initially_present` is the key set loaded before
+/// the concurrent phase. Returns the offending key on failure.
+pub fn check_history(events: &[Event], initially_present: &HashSet<u64>) -> Result<(), String> {
+    let mut per_key: HashMap<u64, Vec<Event>> = HashMap::new();
+    for e in events {
+        per_key.entry(e.key).or_default().push(*e);
+    }
+    for (key, evs) in per_key {
+        check_key(&evs, initially_present.contains(&key))
+            .map_err(|msg| format!("key {key}: {msg}"))?;
+    }
+    Ok(())
+}
+
+/// Checks one key's subhistory against boolean-register set semantics.
+pub fn check_key(events: &[Event], initially_present: bool) -> Result<(), String> {
+    const MAX: usize = 28;
+    if events.len() > MAX {
+        return Err(format!(
+            "{} events on one key exceeds the checker bound of {MAX}",
+            events.len()
+        ));
+    }
+    let mut evs: Vec<Event> = events.to_vec();
+    evs.sort_by_key(|e| e.start_ns);
+    let all = (1u32 << evs.len()) - 1;
+    let mut seen: HashSet<(u32, bool)> = HashSet::new();
+    if explore(&evs, 0, initially_present, all, &mut seen) {
+        Ok(())
+    } else {
+        Err(format!("no linearization exists for {} events", evs.len()))
+    }
+}
+
+fn apply(result: EventResult, present: bool) -> Option<bool> {
+    match result {
+        EventResult::SearchFound(found) => (found == present).then_some(present),
+        EventResult::Inserted(true) => (!present).then_some(true),
+        EventResult::Inserted(false) => present.then_some(true),
+        EventResult::Deleted(true) => present.then_some(false),
+        EventResult::Deleted(false) => (!present).then_some(false),
+    }
+}
+
+fn explore(
+    evs: &[Event],
+    done: u32,
+    present: bool,
+    all: u32,
+    seen: &mut HashSet<(u32, bool)>,
+) -> bool {
+    if done == all {
+        return true;
+    }
+    if !seen.insert((done, present)) {
+        return false;
+    }
+    // Earliest end among pending events: anything starting after it cannot
+    // be linearized first.
+    let mut min_end = u64::MAX;
+    for (i, e) in evs.iter().enumerate() {
+        if done & (1 << i) == 0 {
+            min_end = min_end.min(e.end_ns);
+        }
+    }
+    for (i, e) in evs.iter().enumerate() {
+        if done & (1 << i) != 0 || e.start_ns > min_end {
+            continue;
+        }
+        if let Some(next_present) = apply(e.result, present) {
+            if explore(evs, done | (1 << i), next_present, all, seen) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(result: EventResult, start: u64, end: u64) -> Event {
+        Event {
+            key: 1,
+            result,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn sequential_consistent_history_passes() {
+        let evs = vec![
+            ev(EventResult::Inserted(true), 0, 10),
+            ev(EventResult::SearchFound(true), 20, 30),
+            ev(EventResult::Deleted(true), 40, 50),
+            ev(EventResult::SearchFound(false), 60, 70),
+            ev(EventResult::Inserted(true), 80, 90),
+        ];
+        check_key(&evs, false).unwrap();
+    }
+
+    #[test]
+    fn sequential_wrong_return_fails() {
+        // Search must find the key that was inserted strictly before it.
+        let evs = vec![
+            ev(EventResult::Inserted(true), 0, 10),
+            ev(EventResult::SearchFound(false), 20, 30),
+        ];
+        assert!(check_key(&evs, false).is_err());
+    }
+
+    #[test]
+    fn overlapping_ops_allow_either_order() {
+        // Insert and search overlap: the search may see either state.
+        for found in [true, false] {
+            let evs = vec![
+                ev(EventResult::Inserted(true), 0, 100),
+                ev(EventResult::SearchFound(found), 10, 90),
+            ];
+            check_key(&evs, false).unwrap();
+        }
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Two non-overlapping failed inserts on an absent key: impossible
+        // (the first must succeed).
+        let evs = vec![
+            ev(EventResult::Inserted(false), 0, 10),
+            ev(EventResult::Inserted(false), 20, 30),
+        ];
+        assert!(check_key(&evs, false).is_err());
+        // But on an initially present key both fail legitimately.
+        check_key(&evs, true).unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_semantics() {
+        let evs = vec![
+            ev(EventResult::Inserted(true), 0, 10),
+            ev(EventResult::Inserted(false), 20, 30),
+            ev(EventResult::Deleted(true), 40, 50),
+            ev(EventResult::Inserted(true), 60, 70),
+        ];
+        check_key(&evs, false).unwrap();
+    }
+
+    #[test]
+    fn concurrent_insert_delete_races() {
+        // insert ∥ delete on an initially present key: delete may kill the
+        // old or the new value; a trailing search constrains the outcome
+        // only loosely. This is the kind of history the tree actually
+        // produces under contention; it must have *some* linearization.
+        let evs = vec![
+            ev(EventResult::Inserted(false), 0, 100), // duplicate: saw it present
+            ev(EventResult::Deleted(true), 50, 150),
+            ev(EventResult::SearchFound(false), 200, 210),
+        ];
+        check_key(&evs, true).unwrap();
+    }
+
+    #[test]
+    fn impossible_concurrent_history_fails() {
+        // Key initially absent; two successful deletes with only one
+        // successful insert anywhere: no linearization.
+        let evs = vec![
+            ev(EventResult::Inserted(true), 0, 100),
+            ev(EventResult::Deleted(true), 0, 100),
+            ev(EventResult::Deleted(true), 0, 100),
+        ];
+        assert!(check_key(&evs, false).is_err());
+    }
+
+    #[test]
+    fn whole_history_grouping() {
+        let mut evs = vec![];
+        for key in 0..10u64 {
+            evs.push(Event {
+                key,
+                result: EventResult::Inserted(true),
+                start_ns: 0,
+                end_ns: 10,
+            });
+            evs.push(Event {
+                key,
+                result: EventResult::SearchFound(true),
+                start_ns: 20,
+                end_ns: 30,
+            });
+        }
+        check_history(&evs, &HashSet::new()).unwrap();
+        // Break one key.
+        evs.push(Event {
+            key: 3,
+            result: EventResult::Deleted(false),
+            start_ns: 40,
+            end_ns: 50,
+        });
+        let err = check_history(&evs, &HashSet::new()).unwrap_err();
+        assert!(err.contains("key 3"));
+    }
+
+    #[test]
+    fn initial_presence_respected() {
+        let evs = vec![ev(EventResult::SearchFound(true), 0, 10)];
+        assert!(check_key(&evs, false).is_err());
+        check_key(&evs, true).unwrap();
+    }
+
+    #[test]
+    fn too_many_events_is_reported() {
+        let evs: Vec<Event> = (0..40)
+            .map(|i| ev(EventResult::Inserted(i % 2 == 0), i * 10, i * 10 + 5))
+            .collect();
+        assert!(check_key(&evs, false)
+            .unwrap_err()
+            .contains("checker bound"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the storage substrate.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// Errors produced by the page store and record heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The page id does not name any slot ever allocated by this store.
+    OutOfBounds(PageId),
+    /// The page was freed (and possibly reallocated since). Tree code treats
+    /// this as a signal to restart the current traversal.
+    PageFreed(PageId),
+    /// A page or record failed to decode.
+    Corrupt(&'static str),
+    /// The record id does not name a live record.
+    RecordMissing(u64),
+    /// A record is too large to fit in a single heap page.
+    RecordTooLarge { len: usize, max: usize },
+    /// Invalid configuration (e.g. page size too small for the node format).
+    Config(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfBounds(p) => write!(f, "page {p} is out of bounds"),
+            StoreError::PageFreed(p) => write!(f, "page {p} has been freed"),
+            StoreError::Corrupt(what) => write!(f, "corrupt data: {what}"),
+            StoreError::RecordMissing(r) => write!(f, "record {r:#x} is missing"),
+            StoreError::RecordTooLarge { len, max } => {
+                write!(
+                    f,
+                    "record of {len} bytes exceeds the per-page maximum of {max}"
+                )
+            }
+            StoreError::Config(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenience alias used across the substrate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StoreError::OutOfBounds(PageId::from_raw(7).unwrap());
+        assert!(e.to_string().contains('7'));
+        let e = StoreError::RecordTooLarge {
+            len: 9000,
+            max: 4000,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4000"));
+        let e = StoreError::Corrupt("bad magic");
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StoreError::Config("page too small"));
+        assert!(e.to_string().contains("page too small"));
+    }
+}

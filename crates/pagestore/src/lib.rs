@@ -1,0 +1,49 @@
+//! Page/block storage substrate for the Sagiv B\*-tree reproduction.
+//!
+//! This crate implements the storage and synchronization model of §2.2 of
+//! Sagiv, *Concurrent Operations on B\*-Trees with Overtaking* (JCSS 1986):
+//!
+//! * Each tree node corresponds to a **page** of fixed size. [`PageStore::get`]
+//!   returns the contents of a page and [`PageStore::put`] overwrites it;
+//!   both are **indivisible** (a per-page latch is held only for the duration
+//!   of the copy), so "reading and writing of nodes are indivisible
+//!   operations".
+//! * A process can [`lock`](PageStore::lock) a page. The lock prevents other
+//!   processes from locking the same page, but — crucially, and unlike
+//!   ordinary mutexes — it **does not prevent other processes from reading**
+//!   the locked page. Locks are explicit `lock`/`unlock` pairs (not RAII)
+//!   because the paper's protocols release locks in different scopes than
+//!   they acquire them.
+//! * [`Session`]s model the paper's *processes*: they carry the start
+//!   timestamp used by §5.3's deferred reclamation and record the
+//!   instrumentation (maximum number of simultaneously held locks, restarts,
+//!   link follows) that the paper's claims are stated in terms of.
+//! * [`reclaim::DeferredFreeList`] implements §5.3: a deleted node is
+//!   released only when every process that could still read it has finished.
+//! * [`heap::RecordHeap`] stores the records that leaf pairs `(v, p)` point
+//!   to, making the tree a *dense index* exactly as §2.1 describes.
+//! * [`rwlock`] provides shared/exclusive page locks. The Sagiv and
+//!   Lehman–Yao protocols never need them; they exist for the top-down
+//!   (Bayer–Schkolnick-style) baseline the paper's introduction compares
+//!   against.
+
+pub mod cache;
+pub mod clock;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod reclaim;
+pub mod rwlock;
+pub mod session;
+pub mod stats;
+pub mod store;
+
+pub use cache::ClockCache;
+pub use clock::LogicalClock;
+pub use error::{Result, StoreError};
+pub use heap::{RecordHeap, RecordId};
+pub use page::{Page, PageId};
+pub use reclaim::DeferredFreeList;
+pub use session::{Session, SessionRegistry, SessionStats};
+pub use stats::StoreStats;
+pub use store::{PageStore, StoreConfig};

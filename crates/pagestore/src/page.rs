@@ -1,0 +1,138 @@
+//! Pages and page identifiers.
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+/// Identifier of a page (a tree node or heap block). The paper's `nil`
+/// pointer is represented as `Option<PageId>::None`; on disk it is encoded as
+/// the raw value `0`, which is never a valid id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(NonZeroU32);
+
+impl PageId {
+    /// Builds a `PageId` from its on-disk representation. Returns `None` for
+    /// the raw value `0`, which encodes the paper's `nil` pointer.
+    pub fn from_raw(raw: u32) -> Option<PageId> {
+        NonZeroU32::new(raw).map(PageId)
+    }
+
+    /// The on-disk representation (never zero).
+    pub fn to_raw(self) -> u32 {
+        self.0.get()
+    }
+
+    /// Encodes an optional id the way node/page codecs store pointers:
+    /// `None` (nil) becomes `0`.
+    pub fn encode_opt(p: Option<PageId>) -> u32 {
+        p.map_or(0, PageId::to_raw)
+    }
+
+    /// Index of this page within the store's slot table.
+    pub(crate) fn index(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> PageId {
+        PageId(NonZeroU32::new(u32::try_from(i + 1).expect("page id overflow")).unwrap())
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An owned copy of a page's contents, as returned by `PageStore::get`.
+///
+/// The model of §2.2 is that `get(x)` *returns the contents* of the node —
+/// i.e. reads copy the block into a private buffer (as a disk read into a
+/// buffer would), after which the reader works on its private copy while
+/// other processes may rewrite the node. `Page` is that private buffer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    data: Box<[u8]>,
+}
+
+impl Page {
+    /// A zero-filled page of `size` bytes.
+    pub fn zeroed(size: usize) -> Page {
+        Page {
+            data: vec![0u8; size].into_boxed_slice(),
+        }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_bytes(data: Box<[u8]>) -> Page {
+        Page { data }
+    }
+
+    /// Page length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the page has zero length (never the case for store pages).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read access to the raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Write access to the raw bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page[{} bytes]", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_round_trips() {
+        let p = PageId::from_raw(42).unwrap();
+        assert_eq!(p.to_raw(), 42);
+        assert_eq!(p.index(), 41);
+        assert_eq!(PageId::from_index(41), p);
+        assert_eq!(p.to_string(), "P42");
+    }
+
+    #[test]
+    fn nil_is_zero() {
+        assert_eq!(PageId::from_raw(0), None);
+        assert_eq!(PageId::encode_opt(None), 0);
+        assert_eq!(PageId::encode_opt(PageId::from_raw(9)), 9);
+    }
+
+    #[test]
+    fn page_is_zeroed_and_mutable() {
+        let mut p = Page::zeroed(64);
+        assert_eq!(p.len(), 64);
+        assert!(p.bytes().iter().all(|&b| b == 0));
+        p.bytes_mut()[3] = 0xAB;
+        assert_eq!(p.bytes()[3], 0xAB);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn option_page_id_is_word_sized() {
+        // NonZeroU32 gives us the niche: Option<PageId> costs nothing extra.
+        assert_eq!(std::mem::size_of::<Option<PageId>>(), 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Deferred release of deleted nodes (§5.3).
+//!
+//! "When a node is deleted, we cannot remove it, because other processes may
+//! have to read it. One solution is to record in the node the time of its
+//! deletion, and also store for each running process its starting time. A
+//! deleted node can be released when all the currently running processes
+//! have started after its deletion time."
+//!
+//! The tree stamps each deleted page with the logical deletion time and
+//! pushes it here. [`DeferredFreeList::reclaim`] frees every page whose
+//! deletion stamp is strictly below the caller-supplied safety horizon. For
+//! the full §5.4 rule the tree computes the horizon as
+//! `min(registry.min_active_start(), min timestamp of queued compression
+//! stacks)`.
+
+use crate::clock::Timestamp;
+use crate::error::Result;
+use crate::page::PageId;
+use crate::store::PageStore;
+use parking_lot::Mutex;
+
+/// Pages awaiting a safe point to be returned to the free list.
+#[derive(Debug, Default)]
+pub struct DeferredFreeList {
+    pending: Mutex<Vec<(PageId, Timestamp)>>,
+}
+
+impl DeferredFreeList {
+    pub fn new() -> DeferredFreeList {
+        DeferredFreeList::default()
+    }
+
+    /// Registers `pid` as deleted at logical time `stamp`.
+    pub fn defer(&self, pid: PageId, stamp: Timestamp) {
+        self.pending.lock().push((pid, stamp));
+    }
+
+    /// Frees every pending page whose deletion stamp is `< horizon`.
+    /// Returns the number of pages released.
+    pub fn reclaim(&self, horizon: Timestamp, store: &PageStore) -> Result<usize> {
+        // Collect first, free outside the list lock.
+        let ready: Vec<PageId> = {
+            let mut pending = self.pending.lock();
+            let mut ready = Vec::new();
+            pending.retain(|&(pid, stamp)| {
+                if stamp < horizon {
+                    ready.push(pid);
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for pid in &ready {
+            store.free(*pid)?;
+        }
+        Ok(ready.len())
+    }
+
+    /// Number of pages still awaiting reclamation.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Earliest deletion stamp among pending pages (`None` if empty).
+    pub fn min_pending_stamp(&self) -> Option<Timestamp> {
+        self.pending.lock().iter().map(|&(_, t)| t).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn reclaims_only_below_horizon() {
+        let store = PageStore::new(StoreConfig::with_page_size(64));
+        let list = DeferredFreeList::new();
+        let a = store.alloc();
+        let b = store.alloc();
+        let c = store.alloc();
+        list.defer(a, 10);
+        list.defer(b, 20);
+        list.defer(c, 30);
+        assert_eq!(list.min_pending_stamp(), Some(10));
+
+        assert_eq!(list.reclaim(5, &store).unwrap(), 0);
+        assert_eq!(list.pending_count(), 3);
+
+        assert_eq!(list.reclaim(21, &store).unwrap(), 2);
+        assert_eq!(list.pending_count(), 1);
+        assert!(store.get(a).is_err());
+        assert!(store.get(b).is_err());
+        assert!(store.get(c).is_ok());
+
+        // Horizon equal to a stamp does NOT release it (strict inequality:
+        // a process that started exactly at the deletion time may read it).
+        assert_eq!(list.reclaim(30, &store).unwrap(), 0);
+        assert_eq!(list.reclaim(31, &store).unwrap(), 1);
+        assert_eq!(list.pending_count(), 0);
+    }
+
+    #[test]
+    fn deferred_page_remains_readable_until_reclaimed() {
+        let store = PageStore::new(StoreConfig::with_page_size(64));
+        let list = DeferredFreeList::new();
+        let pid = store.alloc();
+        list.defer(pid, 100);
+        // Still readable — this is the whole point of deferral.
+        assert!(store.get(pid).is_ok());
+        list.reclaim(u64::MAX, &store).unwrap();
+        assert!(store.get(pid).is_err());
+    }
+}

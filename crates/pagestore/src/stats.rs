@@ -1,0 +1,135 @@
+//! Store-wide instrumentation counters.
+//!
+//! The paper's claims are stated in terms of locks obtained, lock waiting,
+//! and extra page reads (link follows, restarts). These counters are the raw
+//! material for experiments E1/E4/E5; they are plain relaxed atomics so they
+//! perturb the measured protocols as little as possible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters maintained by a [`crate::PageStore`].
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Number of `get` (page read) operations.
+    pub gets: AtomicU64,
+    /// Number of `put` (page write) operations.
+    pub puts: AtomicU64,
+    /// Pages allocated.
+    pub allocs: AtomicU64,
+    /// Pages freed (returned to the free list).
+    pub frees: AtomicU64,
+    /// Paper-lock acquisitions.
+    pub lock_acquires: AtomicU64,
+    /// Paper-lock acquisitions that had to wait for another holder.
+    pub lock_contended: AtomicU64,
+    /// Total nanoseconds spent waiting for paper locks.
+    pub lock_wait_ns: AtomicU64,
+    /// Shared (rw) lock acquisitions (baseline trees only).
+    pub rw_shared_acquires: AtomicU64,
+    /// Exclusive (rw) lock acquisitions (baseline trees only).
+    pub rw_exclusive_acquires: AtomicU64,
+    /// Rw-lock acquisitions that had to wait.
+    pub rw_contended: AtomicU64,
+    /// Total nanoseconds spent waiting for rw locks.
+    pub rw_wait_ns: AtomicU64,
+    /// Buffer-cache hits (reads that skipped the simulated I/O).
+    pub cache_hits: AtomicU64,
+    /// Buffer-cache misses.
+    pub cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of [`StoreStats`], convenient for diffing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub gets: u64,
+    pub puts: u64,
+    pub allocs: u64,
+    pub frees: u64,
+    pub lock_acquires: u64,
+    pub lock_contended: u64,
+    pub lock_wait_ns: u64,
+    pub rw_shared_acquires: u64,
+    pub rw_exclusive_acquires: u64,
+    pub rw_contended: u64,
+    pub rw_wait_ns: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+impl StoreStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            lock_contended: self.lock_contended.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            rw_shared_acquires: self.rw_shared_acquires.load(Ordering::Relaxed),
+            rw_exclusive_acquires: self.rw_exclusive_acquires.load(Ordering::Relaxed),
+            rw_contended: self.rw_contended.load(Ordering::Relaxed),
+            rw_wait_ns: self.rw_wait_ns.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Element-wise `self - earlier`, for measuring an interval.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            gets: self.gets - earlier.gets,
+            puts: self.puts - earlier.puts,
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+            lock_acquires: self.lock_acquires - earlier.lock_acquires,
+            lock_contended: self.lock_contended - earlier.lock_contended,
+            lock_wait_ns: self.lock_wait_ns - earlier.lock_wait_ns,
+            rw_shared_acquires: self.rw_shared_acquires - earlier.rw_shared_acquires,
+            rw_exclusive_acquires: self.rw_exclusive_acquires - earlier.rw_exclusive_acquires,
+            rw_contended: self.rw_contended - earlier.rw_contended,
+            rw_wait_ns: self.rw_wait_ns - earlier.rw_wait_ns,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+        }
+    }
+
+    /// Live pages = allocations minus frees.
+    pub fn live_pages(&self) -> u64 {
+        self.allocs.saturating_sub(self.frees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = StoreStats::default();
+        StoreStats::bump(&s.gets);
+        StoreStats::bump(&s.gets);
+        StoreStats::add(&s.lock_wait_ns, 500);
+        let a = s.snapshot();
+        StoreStats::bump(&s.gets);
+        StoreStats::bump(&s.allocs);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.gets, 1);
+        assert_eq!(d.allocs, 1);
+        assert_eq!(d.lock_wait_ns, 0);
+        assert_eq!(b.lock_wait_ns, 500);
+        assert_eq!(b.live_pages(), 1);
+    }
+}

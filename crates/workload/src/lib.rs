@@ -1,0 +1,13 @@
+//! Deterministic workload generation for the experiments.
+//!
+//! The paper predates standard benchmark suites, so the experiments use the
+//! conventional mixes of the concurrent-index literature: uniform and
+//! skewed (zipfian) key choice, sequential insertion, hotspot access, and
+//! operation mixes from read-heavy to delete-heavy. Everything is seeded
+//! and reproducible.
+
+pub mod dist;
+pub mod ops;
+
+pub use dist::{KeyDist, KeyPicker};
+pub use ops::{Mix, Op, OpGenerator, OpKind};

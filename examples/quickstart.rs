@@ -1,0 +1,57 @@
+//! Quickstart: create a Sagiv B\*-tree, insert/search/delete, scan a range,
+//! and verify the structure.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use blink_pagestore::{PageStore, StoreConfig};
+use sagiv_blink::{BLinkTree, InsertOutcome, TreeConfig};
+
+fn main() {
+    // A page store is the paper's model of secondary storage: fixed-size
+    // blocks with indivisible get/put.
+    let store = PageStore::new(StoreConfig::with_page_size(4096));
+
+    // k = 16: every node holds between 16 and 32 pairs.
+    let tree = BLinkTree::create(store, TreeConfig::with_k(16)).expect("create tree");
+
+    // Every worker ("process" in the paper) gets a session.
+    let mut session = tree.session();
+
+    // Insert some key → value pairs.
+    for i in 0..1_000u64 {
+        let outcome = tree.insert(&mut session, i * 7, i).expect("insert");
+        assert_eq!(outcome, InsertOutcome::Inserted);
+    }
+    // Duplicate keys are reported, not overwritten (§3.2).
+    assert_eq!(
+        tree.insert(&mut session, 0, 999).unwrap(),
+        InsertOutcome::Duplicate
+    );
+
+    // Point lookups are lock-free.
+    assert_eq!(tree.search(&mut session, 7 * 500).unwrap(), Some(500));
+    assert_eq!(tree.search(&mut session, 3).unwrap(), None);
+
+    // Range scans ride the leaf links.
+    let window = tree.range(&mut session, 70, 140).unwrap();
+    println!(
+        "keys in [70, 140]: {:?}",
+        window.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
+
+    // Deletions return the old value.
+    assert_eq!(tree.delete(&mut session, 7).unwrap(), Some(1));
+    assert_eq!(tree.delete(&mut session, 7).unwrap(), None);
+
+    // The structural verifier checks every invariant, including the Fig. 2
+    // level-repetition property the algorithm's correctness rests on.
+    let report = tree.verify(false).expect("verify");
+    report.assert_ok();
+    println!(
+        "tree OK: height={}, nodes={}, leaf pairs={}, avg leaf fill={:.0}%",
+        report.height,
+        report.node_count,
+        report.leaf_pairs,
+        report.avg_leaf_fill * 100.0
+    );
+}

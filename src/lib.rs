@@ -1,0 +1,16 @@
+//! Meta-crate for the Sagiv B*-tree reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests have a
+//! single dependency root. See the individual crates for documentation:
+//!
+//! * [`sagiv_blink`] — the paper's contribution (core library)
+//! * [`blink_pagestore`] — storage/locking substrate (§2.2 model)
+//! * [`blink_baselines`] — Lehman–Yao and top-down baselines
+//! * [`blink_workload`] — workload generators
+//! * [`blink_harness`] — experiment harness and linearizability checker
+
+pub use blink_baselines as baselines;
+pub use blink_harness as harness;
+pub use blink_pagestore as pagestore;
+pub use blink_workload as workload;
+pub use sagiv_blink as blink;

@@ -1,0 +1,179 @@
+//! Cross-crate integration: heavy concurrent workloads over the Sagiv tree
+//! with live compression, verified structurally and logically at the end.
+
+use blink_pagestore::{PageStore, StoreConfig};
+use sagiv_blink::{BLinkTree, CompressorPool, ScannerDaemon, TreeConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tree(k: usize) -> Arc<BLinkTree> {
+    let store = PageStore::new(StoreConfig::with_page_size(4096));
+    BLinkTree::create(store, TreeConfig::with_k(k)).unwrap()
+}
+
+/// Disjoint key ranges per thread make the final key set exactly
+/// predictable even under full concurrency.
+#[test]
+fn disjoint_ranges_with_compressors() {
+    let t = tree(4);
+    let pool = CompressorPool::spawn(&t, 3);
+    let threads = 8u64;
+    let per = 5_000u64;
+
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let t = Arc::clone(&t);
+            s.spawn(move || {
+                let mut sess = t.session();
+                let base = w << 32;
+                for i in 0..per {
+                    assert!(t
+                        .insert(&mut sess, base + i, i)
+                        .unwrap()
+                        .eq(&sagiv_blink::InsertOutcome::Inserted));
+                }
+                // Delete everything not divisible by 3.
+                for i in 0..per {
+                    if i % 3 != 0 {
+                        assert_eq!(t.delete(&mut sess, base + i).unwrap(), Some(i));
+                    }
+                }
+            });
+        }
+    });
+    pool.stop();
+
+    let mut sess = t.session();
+    t.compress_drain(&mut sess, 2_000_000).unwrap();
+    t.compress_to_fixpoint(&mut sess, 64).unwrap();
+    t.reclaim().unwrap();
+    let rep = t.verify(true).unwrap();
+    rep.assert_ok();
+
+    let got: BTreeSet<u64> = t
+        .range(&mut sess, 0, u64::MAX)
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    let mut want = BTreeSet::new();
+    for w in 0..threads {
+        for i in (0..per).step_by(3) {
+            want.insert((w << 32) + i);
+        }
+    }
+    assert_eq!(got, want);
+}
+
+/// Overlapping hot keys from every thread; the tree must stay structurally
+/// valid and every surviving key must resolve consistently.
+#[test]
+fn overlapping_churn_with_scanner() {
+    let t = tree(2);
+    let daemon = ScannerDaemon::spawn(&t, Duration::from_millis(2));
+    let threads = 6u64;
+
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let t = Arc::clone(&t);
+            s.spawn(move || {
+                let mut sess = t.session();
+                let mut x = 1000 + w;
+                for _ in 0..8_000 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = (x >> 40) % 2_000;
+                    match x % 3 {
+                        0 => {
+                            t.insert(&mut sess, key, w).ok();
+                        }
+                        1 => {
+                            t.delete(&mut sess, key).ok();
+                        }
+                        _ => {
+                            t.search(&mut sess, key).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    daemon.stop();
+
+    let mut sess = t.session();
+    t.compress_drain(&mut sess, 2_000_000).unwrap();
+    t.compress_to_fixpoint(&mut sess, 128).unwrap();
+    t.reclaim().unwrap();
+    t.verify(false).unwrap().assert_ok();
+
+    // Every key the scan reports must also be searchable, and vice versa.
+    let scanned: Vec<u64> = t
+        .range(&mut sess, 0, u64::MAX)
+        .unwrap()
+        .iter()
+        .map(|e| e.0)
+        .collect();
+    for &k in &scanned {
+        assert!(
+            t.search(&mut sess, k).unwrap().is_some(),
+            "scanned key {k} not searchable"
+        );
+    }
+    for k in 0..2_000u64 {
+        let in_scan = scanned.binary_search(&k).is_ok();
+        let in_search = t.search(&mut sess, k).unwrap().is_some();
+        assert_eq!(
+            in_scan, in_search,
+            "key {k} inconsistent between scan and search"
+        );
+    }
+}
+
+/// Readers running during a full compression collapse never crash, error,
+/// or return a key that was never inserted.
+#[test]
+fn readers_survive_total_collapse() {
+    let t = tree(2);
+    let mut sess = t.session();
+    let n = 30_000u64;
+    for i in 0..n {
+        t.insert(&mut sess, i, i + 1).unwrap();
+    }
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for r in 0..4u64 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut sess = t.session();
+                let mut x = r + 7;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+                    let key = (x >> 33) % n;
+                    if let Some(v) = t.search(&mut sess, key).unwrap() {
+                        assert_eq!(v, key + 1, "reader saw a corrupted value");
+                    }
+                }
+            });
+        }
+        // Meanwhile: delete everything and compress to a single leaf.
+        let t2 = Arc::clone(&t);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut sess = t2.session();
+            for i in 0..n {
+                t2.delete(&mut sess, i).unwrap();
+            }
+            t2.compress_drain(&mut sess, 3_000_000).unwrap();
+            t2.compress_to_fixpoint(&mut sess, 256).unwrap();
+            stop2.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+
+    assert_eq!(t.height().unwrap(), 1);
+    t.reclaim().unwrap();
+    t.verify(false).unwrap().assert_ok();
+}

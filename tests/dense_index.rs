@@ -1,0 +1,89 @@
+//! Cross-crate integration: the tree as a §2.1 dense index over the record
+//! heap — "the leaves contain pairs (v, p), where p points to the record
+//! with key value v" — under concurrent writers and a compression pool.
+
+use blink_pagestore::{PageStore, RecordHeap, RecordId, StoreConfig};
+use sagiv_blink::{BLinkTree, CompressorPool, TreeConfig};
+use std::sync::Arc;
+
+fn setup() -> (Arc<BLinkTree>, Arc<RecordHeap>) {
+    let index_store = PageStore::new(StoreConfig::with_page_size(4096));
+    let heap = Arc::new(RecordHeap::new(PageStore::new(
+        StoreConfig::with_page_size(4096),
+    )));
+    let tree = BLinkTree::create(index_store, TreeConfig::with_k(4)).unwrap();
+    (tree, heap)
+}
+
+#[test]
+fn records_round_trip_through_the_index() {
+    let (tree, heap) = setup();
+    let mut s = tree.session();
+    for i in 0..5_000u64 {
+        let payload = format!("record-{i}-{}", "x".repeat((i % 50) as usize));
+        let rid = heap.insert(payload.as_bytes()).unwrap();
+        tree.insert(&mut s, i, rid.to_raw()).unwrap();
+    }
+    for i in (0..5_000u64).step_by(7) {
+        let raw = tree.search(&mut s, i).unwrap().expect("indexed");
+        let rid = RecordId::from_raw(raw).expect("valid rid");
+        let data = heap.read(rid).unwrap();
+        assert!(String::from_utf8(data)
+            .unwrap()
+            .starts_with(&format!("record-{i}-")));
+    }
+    // Delete index + record together; both must report missing afterwards.
+    let raw = tree.delete(&mut s, 1234).unwrap().expect("present");
+    let rid = RecordId::from_raw(raw).unwrap();
+    heap.free(rid).unwrap();
+    assert_eq!(tree.search(&mut s, 1234).unwrap(), None);
+    assert!(heap.read(rid).is_err());
+}
+
+#[test]
+fn concurrent_writers_own_records() {
+    let (tree, heap) = setup();
+    let pool = CompressorPool::spawn(&tree, 1);
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let tree = Arc::clone(&tree);
+            let heap = Arc::clone(&heap);
+            scope.spawn(move || {
+                let mut s = tree.session();
+                let base = w * 100_000;
+                let mut rids = Vec::new();
+                for i in 0..2_000u64 {
+                    let rid = heap.insert(format!("w{w}:{i}").as_bytes()).unwrap();
+                    tree.insert(&mut s, base + i, rid.to_raw()).unwrap();
+                    rids.push((base + i, rid));
+                }
+                // Verify own records while others churn.
+                for (key, rid) in &rids {
+                    let raw = tree.search(&mut s, *key).unwrap().expect("own key");
+                    assert_eq!(raw, rid.to_raw());
+                    let data = heap.read(*rid).unwrap();
+                    assert!(data.starts_with(format!("w{w}:").as_bytes()));
+                }
+                // Retention: delete the first half, index and records.
+                for (key, rid) in rids.iter().take(1_000) {
+                    assert!(tree.delete(&mut s, *key).unwrap().is_some());
+                    heap.free(*rid).unwrap();
+                }
+            });
+        }
+    });
+    pool.stop();
+    let mut s = tree.session();
+    tree.compress_drain(&mut s, 1_000_000).unwrap();
+    tree.reclaim().unwrap();
+    let rep = tree.verify(false).unwrap();
+    rep.assert_ok();
+    assert_eq!(rep.leaf_pairs, 4 * 1_000);
+    // Every surviving index entry must resolve to a live record.
+    for (key, raw) in tree.range(&mut s, 0, u64::MAX).unwrap() {
+        let rid = RecordId::from_raw(raw).unwrap();
+        let data = heap.read(rid).unwrap();
+        let w = key / 100_000;
+        assert!(data.starts_with(format!("w{w}:").as_bytes()));
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: structural invariants (including Fig. 2) and
+//! reclamation safety under sustained churn.
+
+use blink_pagestore::{PageStore, StoreConfig};
+use sagiv_blink::{BLinkTree, CompressorPool, TreeConfig};
+use std::sync::Arc;
+
+fn tree(k: usize) -> Arc<BLinkTree> {
+    let store = PageStore::new(StoreConfig::with_page_size(4096));
+    BLinkTree::create(store, TreeConfig::with_k(k)).unwrap()
+}
+
+/// The Fig. 2 invariant holds at every quiescent point between waves of
+/// mixed activity.
+#[test]
+fn fig2_invariant_between_waves() {
+    let t = tree(2);
+    let mut sess = t.session();
+    let mut x = 5u64;
+    for wave in 0..6 {
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let t = Arc::clone(&t);
+                let seed = x ^ w;
+                s.spawn(move || {
+                    let mut sess = t.session();
+                    let mut y = seed;
+                    for _ in 0..4_000 {
+                        y = y.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let key = (y >> 35) % 10_000;
+                        if y % 5 < 3 {
+                            t.insert(&mut sess, key, key).ok();
+                        } else {
+                            t.delete(&mut sess, key).ok();
+                        }
+                    }
+                });
+            }
+        });
+        x = x.wrapping_mul(48271);
+        // Quiesce: drain compression, then verify everything including the
+        // Fig. 2 level-repetition property.
+        t.compress_drain(&mut sess, 2_000_000).unwrap();
+        let rep = t.verify(false).unwrap();
+        assert!(rep.is_ok(), "wave {wave}: {:?}", rep.errors);
+    }
+}
+
+/// Reclaimed pages are really recycled: page count stays bounded under
+/// endless insert/delete cycling with compression + reclamation active.
+#[test]
+fn page_usage_stays_bounded_under_cycling() {
+    let t = tree(4);
+    let pool = CompressorPool::spawn(&t, 2);
+    let mut sess = t.session();
+    let n = 5_000u64;
+    for cycle in 0..6u64 {
+        for i in 0..n {
+            t.insert(&mut sess, i, cycle).unwrap();
+        }
+        for i in 0..n {
+            t.delete(&mut sess, i).unwrap();
+        }
+        // Quiesce fully: queue drained, workers' in-flight items finished
+        // (they pin the reclamation horizon until done), pages released.
+        let mut spins = 0;
+        loop {
+            t.reclaim().unwrap();
+            if t.queue_len() == 0 && t.pending_reclaim() == 0 {
+                break;
+            }
+            spins += 1;
+            assert!(spins < 10_000, "cycle {cycle}: compression never quiesced");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let live = t.store().live_pages();
+        assert!(
+            live <= 200,
+            "cycle {cycle}: {live} live pages after emptying a {n}-key tree — pages leak"
+        );
+    }
+    pool.stop();
+    let mut sess2 = t.session();
+    t.compress_drain(&mut sess2, 2_000_000).unwrap();
+    t.compress_to_fixpoint(&mut sess2, 128).unwrap();
+    t.reclaim().unwrap();
+    t.verify(false).unwrap().assert_ok();
+}
+
+/// A deliberately slow reader (old start stamp) is never shown recycled
+/// garbage it could mistake for its target: traversals either find the key
+/// or restart safely.
+#[test]
+fn slow_reader_with_aggressive_reclamation() {
+    let t = tree(2);
+    let mut writer = t.session();
+    for i in 0..5_000u64 {
+        t.insert(&mut writer, i, i).unwrap();
+    }
+
+    std::thread::scope(|s| {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        for r in 0..3u64 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut sess = t.session();
+                let mut y = r + 1;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    y = y.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    let key = (y >> 35) % 5_000;
+                    if let Some(v) = t.search(&mut sess, key).unwrap() {
+                        assert_eq!(v, key);
+                    }
+                }
+            });
+        }
+        let t2 = Arc::clone(&t);
+        let stop2 = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut sess = t2.session();
+            for i in 0..5_000u64 {
+                if i % 2 == 0 {
+                    t2.delete(&mut sess, i).unwrap();
+                }
+                if i % 64 == 0 {
+                    t2.compress_drain(&mut sess, 10_000).unwrap();
+                    t2.reclaim().unwrap(); // aggressive: after every burst
+                }
+            }
+            t2.compress_drain(&mut sess, 1_000_000).unwrap();
+            t2.reclaim().unwrap();
+            stop2.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    });
+    t.verify(false).unwrap().assert_ok();
+}

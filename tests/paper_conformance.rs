@@ -1,0 +1,342 @@
+//! Conformance tests mapping one-to-one onto the paper's procedures
+//! (Figs. 4–7) and the special cases its prose calls out. Each test names
+//! the branch of the pseudocode it exercises.
+
+use blink_pagestore::{PageStore, StoreConfig};
+use sagiv_blink::key::Bound;
+use sagiv_blink::{BLinkTree, InsertOutcome, TreeConfig, UnderflowPolicy};
+use std::sync::Arc;
+
+fn tree(k: usize) -> Arc<BLinkTree> {
+    let store = PageStore::new(StoreConfig::with_page_size(4096));
+    BLinkTree::create(store, TreeConfig::with_k(k)).unwrap()
+}
+
+// ----------------------------------------------------------------------
+// Fig. 4: search = movedown + moveright
+// ----------------------------------------------------------------------
+
+/// `movedown` follows child pointers; `moveright` follows links when "the
+/// high value of C is smaller than u".
+#[test]
+fn fig4_search_uses_links_after_unpropagated_split() {
+    let t = tree(2);
+    let mut s = t.session();
+    // Fill one leaf exactly (2k = 4 pairs), then split it via insert.
+    for key in [10u64, 20, 30, 40] {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    // This split creates a root; now split a leaf again so that a link
+    // must be followed if the parent were stale. We simulate the stale
+    // window by searching immediately after manual B-write (covered in
+    // fig3 binary); here we assert search correctness across many splits.
+    for key in (50..200u64).step_by(10) {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    for key in (10..200u64).step_by(10) {
+        assert_eq!(t.search(&mut s, key).unwrap(), Some(key), "key {key}");
+    }
+    // Keys between occupied slots: not found, still correctly routed.
+    assert_eq!(t.search(&mut s, 15).unwrap(), None);
+    assert_eq!(t.search(&mut s, 195).unwrap(), None);
+}
+
+// ----------------------------------------------------------------------
+// Fig. 5: the insert locking loop
+// ----------------------------------------------------------------------
+
+/// "if v is in A then … print 'v is already in the tree'; stop" — at the
+/// leaf only, after locking and re-reading.
+#[test]
+fn fig5_duplicate_detected_under_lock() {
+    let t = tree(2);
+    let mut s = t.session();
+    assert_eq!(t.insert(&mut s, 5, 50).unwrap(), InsertOutcome::Inserted);
+    assert_eq!(t.insert(&mut s, 5, 51).unwrap(), InsertOutcome::Duplicate);
+    // The original value is untouched.
+    assert_eq!(t.search(&mut s, 5).unwrap(), Some(50));
+    assert!(s.held_locks().is_empty(), "all locks released");
+}
+
+/// "if v > highvalue then … moveright" — insertion lands in the correct
+/// leaf even when its first candidate has been split by someone else.
+/// (Single-threaded equivalent: keys inserted in descending order cross
+/// many moveright boundaries.)
+#[test]
+fn fig5_moveright_on_descending_inserts() {
+    let t = tree(2);
+    let mut s = t.session();
+    for key in (0..300u64).rev() {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    for key in 0..300u64 {
+        assert_eq!(t.search(&mut s, key).unwrap(), Some(key));
+    }
+    t.verify(true).unwrap().assert_ok();
+}
+
+// ----------------------------------------------------------------------
+// Fig. 6: insert-into-safe / -unsafe / -unsafe-root
+// ----------------------------------------------------------------------
+
+/// insert-into-safe: a single put, no splits, no extra locks.
+#[test]
+fn fig6_insert_into_safe_is_single_write() {
+    let t = tree(4);
+    let mut s = t.session();
+    t.insert(&mut s, 1, 1).unwrap();
+    let puts_before = t.store().stats().snapshot().puts;
+    t.insert(&mut s, 2, 2).unwrap(); // leaf has room
+    let puts_after = t.store().stats().snapshot().puts;
+    assert_eq!(
+        puts_after - puts_before,
+        1,
+        "safe insert rewrites exactly one node"
+    );
+}
+
+/// insert-into-unsafe: two puts for the split (B then A) + one for the
+/// parent pair.
+#[test]
+fn fig6_insert_into_unsafe_writes_b_then_a_then_parent() {
+    let t = tree(2);
+    let mut s = t.session();
+    for key in [10u64, 20, 30, 40] {
+        t.insert(&mut s, key, key).unwrap(); // fills the root leaf
+    }
+    // Next insert splits the root (root case: B, A, new root R, prime).
+    let splits0 = t.counters().snapshot().root_splits;
+    t.insert(&mut s, 50, 50).unwrap();
+    assert_eq!(t.counters().snapshot().root_splits, splits0 + 1);
+    assert_eq!(t.height().unwrap(), 2);
+
+    // Fill a leaf under the new root; its split propagates a pair to the
+    // existing parent (the non-root unsafe case).
+    let splits1 = t.counters().snapshot().splits;
+    for key in [60u64, 70, 80, 90, 100] {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    assert!(
+        t.counters().snapshot().splits > splits1,
+        "leaf split under existing root"
+    );
+    assert_eq!(
+        t.height().unwrap(),
+        2,
+        "no new root needed: pair went to the parent"
+    );
+    t.verify(true).unwrap().assert_ok();
+}
+
+/// §3.2: "the number of levels in the tree has been increased while our
+/// process is running" — after many root splits the leftmost array still
+/// locates every level, and the prime block is consistent.
+#[test]
+fn sec32_prime_block_tracks_every_level() {
+    let t = tree(2);
+    let mut s = t.session();
+    for key in 0..2_000u64 {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    let prime = t.prime_snapshot().unwrap();
+    assert!(prime.height >= 5);
+    for level in 0..prime.height as u8 {
+        let pid = prime.leftmost_at(level).unwrap();
+        let node = t.read_node(pid).unwrap();
+        assert_eq!(node.level, level);
+        assert_eq!(node.low, Bound::NegInf, "leftmost node at level {level}");
+        assert_eq!(node.is_leaf(), level == 0);
+    }
+    assert_eq!(prime.leftmost_at(prime.height as u8), None);
+}
+
+// ----------------------------------------------------------------------
+// Fig. 7 / §5.2: compress-level cases
+// ----------------------------------------------------------------------
+
+/// "If A and B have together 2k or fewer pairs, then all the data is moved
+/// to one of them and the other is deleted" — and the deleted node gets a
+/// pointer to A (§5.2 case 1).
+#[test]
+fn fig7_merge_leaves_pointer_to_survivor() {
+    let t = tree(2);
+    let mut s = t.session();
+    for key in 0..40u64 {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    // Remember the leaf chain, then underflow some leaves and compress.
+    let prime = t.prime_snapshot().unwrap();
+    let mut chain = vec![];
+    let mut cur = prime.leftmost_at(0);
+    while let Some(pid) = cur {
+        let n = t.read_node(pid).unwrap();
+        cur = n.link;
+        chain.push(pid);
+    }
+    for key in 0..40u64 {
+        if key % 4 != 0 {
+            t.delete(&mut s, key).unwrap();
+        }
+    }
+    t.compress_to_fixpoint(&mut s, 64).unwrap();
+    // Some original leaf was merged away; it must now carry its deletion
+    // bit and a merge pointer (no reclamation has run).
+    let mut deleted_seen = 0;
+    for pid in chain {
+        if let Ok(n) = t.read_node(pid) {
+            if n.deleted {
+                deleted_seen += 1;
+                assert!(
+                    n.merge_target.is_some(),
+                    "deleted {pid} lacks merge pointer"
+                );
+            }
+        }
+    }
+    assert!(
+        deleted_seen > 0,
+        "compression must have deleted some leaves"
+    );
+    t.verify(true).unwrap().assert_ok();
+}
+
+/// "If one of them has fewer than k pairs but together they have more than
+/// 2k pairs, then the data is redistributed" — and the parent's separator
+/// is updated to A's new high value.
+#[test]
+fn fig7_redistribution_updates_parent_separator() {
+    let t = tree(3); // k=3: max 6
+    let mut s = t.session();
+    for key in 0..60u64 {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    // Underflow one leaf but keep the pair total > 2k so it redistributes.
+    let prime = t.prime_snapshot().unwrap();
+    let first = prime.leftmost_at(0).unwrap();
+    let leaf = t.read_node(first).unwrap();
+    let doomed: Vec<u64> = leaf
+        .entries
+        .iter()
+        .take(leaf.pairs() - 1)
+        .map(|e| e.0)
+        .collect();
+    for key in doomed {
+        t.delete(&mut s, key).unwrap();
+    }
+    let before = t.counters().snapshot();
+    t.compress_drain(&mut s, 100_000).unwrap();
+    let after = t.counters().snapshot();
+    assert!(
+        after.redistributes > before.redistributes || after.merges > before.merges,
+        "under-full leaf must be rearranged"
+    );
+    t.verify(true).unwrap().assert_ok();
+}
+
+/// §5.4's priority rule (footnote 17): higher-level items pop first.
+#[test]
+fn sec54_queue_prioritizes_higher_levels() {
+    use sagiv_blink::QueueItem;
+    let t = tree(2);
+    let q = sagiv_blink::compress::queue::CompressionQueue::new();
+    let _ = t; // queue is standalone; exercised directly
+    let pid = |n: u32| blink_pagestore::PageId::from_raw(n).unwrap();
+    for (p, lvl) in [(1u32, 0u8), (2, 1), (3, 0), (4, 2)] {
+        q.enqueue_update(QueueItem {
+            pid: pid(p),
+            level: lvl,
+            high: Bound::PosInf,
+            stack: vec![],
+            stamp: u64::from(p),
+            attempts: 0,
+        });
+    }
+    let order: Vec<u8> = std::iter::from_fn(|| {
+        q.pop().map(|(t, i)| {
+            q.finish(t);
+            i.level
+        })
+    })
+    .collect();
+    assert_eq!(order, vec![2, 1, 0, 0]);
+}
+
+/// §5.4 root special case: the root's two children merge and the merged
+/// node becomes the new root, shrinking the height by exactly one.
+#[test]
+fn sec54_two_child_root_merge_shrinks_height() {
+    let t = tree(2);
+    let mut s = t.session();
+    // Build height 2 with exactly two leaves, then empty one.
+    for key in 0..5u64 {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    assert_eq!(t.height().unwrap(), 2);
+    for key in 0..4u64 {
+        t.delete(&mut s, key).unwrap();
+    }
+    t.compress_drain(&mut s, 10_000).unwrap();
+    assert_eq!(t.height().unwrap(), 1, "merged child must become the root");
+    let rep = t.verify(false).unwrap();
+    rep.assert_ok();
+    assert_eq!(rep.leaf_pairs, 1);
+    assert_eq!(t.search(&mut s, 4).unwrap(), Some(4));
+}
+
+/// Multi-level root collapse (§5.4's "this may continue to any number of
+/// levels"): a tall tree reduced to a handful of keys collapses several
+/// levels in one quiesce.
+#[test]
+fn sec54_chain_collapse_across_levels() {
+    let t = tree(2);
+    let mut s = t.session();
+    for key in 0..3_000u64 {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    let tall = t.height().unwrap();
+    assert!(tall >= 5);
+    for key in 3..3_000u64 {
+        t.delete(&mut s, key).unwrap();
+    }
+    t.compress_drain(&mut s, 1_000_000).unwrap();
+    t.compress_to_fixpoint(&mut s, 64).unwrap();
+    let short = t.height().unwrap();
+    assert!(
+        short <= 2,
+        "expected near-total collapse, got height {short}"
+    );
+    assert!(t.counters().snapshot().root_collapses >= u64::from(tall - short));
+    for key in 0..3u64 {
+        assert_eq!(t.search(&mut s, key).unwrap(), Some(key));
+    }
+    t.verify(true).unwrap().assert_ok();
+}
+
+/// §4: with the trivial deletion policy the execution of a deletion is
+/// "similar to that of an insertion when no splitting occurs" — exactly
+/// one node rewritten, one lock held.
+#[test]
+fn sec4_trivial_deletion_rewrites_one_node() {
+    let store = PageStore::new(StoreConfig::with_page_size(4096));
+    let t = BLinkTree::create(
+        store,
+        TreeConfig::with_k_and_policy(2, UnderflowPolicy::Ignore),
+    )
+    .unwrap();
+    let mut s = t.session();
+    for key in 0..100u64 {
+        t.insert(&mut s, key, key).unwrap();
+    }
+    let snap = t.store().stats().snapshot();
+    let stats0 = s.stats();
+    t.delete(&mut s, 50).unwrap();
+    let snap2 = t.store().stats().snapshot();
+    let stats1 = s.stats();
+    assert_eq!(
+        snap2.puts - snap.puts,
+        1,
+        "trivial delete writes exactly one node"
+    );
+    assert_eq!(stats1.locks_acquired - stats0.locks_acquired, 1);
+    assert_eq!(stats1.max_simultaneous_locks, 1);
+}

@@ -1,0 +1,199 @@
+//! Property-based whole-tree testing: arbitrary operation sequences against
+//! a `BTreeMap` model, with compression and verification interleaved.
+
+use blink_pagestore::{PageStore, StoreConfig};
+use proptest::prelude::*;
+use sagiv_blink::{BLinkTree, InsertOutcome, TreeConfig, UnderflowPolicy};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Insert(u64, u64),
+    Delete(u64),
+    Search(u64),
+    Range(u64, u64),
+    ScannerPass,
+    DrainQueue,
+    Verify,
+}
+
+fn action_strategy(key_space: u64) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Action::Insert(k, v)),
+        3 => (0..key_space).prop_map(Action::Delete),
+        2 => (0..key_space).prop_map(Action::Search),
+        1 => (0..key_space, 0..key_space).prop_map(|(a, b)| Action::Range(a.min(b), a.max(b))),
+        1 => Just(Action::ScannerPass),
+        1 => Just(Action::DrainQueue),
+        1 => Just(Action::Verify),
+    ]
+}
+
+fn run_model(k: usize, policy: UnderflowPolicy, actions: &[Action]) {
+    let store = PageStore::new(StoreConfig::with_page_size(4096));
+    let tree = BLinkTree::create(store, TreeConfig::with_k_and_policy(k, policy)).unwrap();
+    let mut session = tree.session();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, a) in actions.iter().enumerate() {
+        match a {
+            Action::Insert(key, val) => {
+                let got = tree.insert(&mut session, *key, *val).unwrap();
+                let want = if model.contains_key(key) {
+                    InsertOutcome::Duplicate
+                } else {
+                    model.insert(*key, *val);
+                    InsertOutcome::Inserted
+                };
+                assert_eq!(got, want, "step {i}: insert {key}");
+            }
+            Action::Delete(key) => {
+                assert_eq!(
+                    tree.delete(&mut session, *key).unwrap(),
+                    model.remove(key),
+                    "step {i}: delete {key}"
+                );
+            }
+            Action::Search(key) => {
+                assert_eq!(
+                    tree.search(&mut session, *key).unwrap(),
+                    model.get(key).copied(),
+                    "step {i}: search {key}"
+                );
+            }
+            Action::Range(lo, hi) => {
+                let got = tree.range(&mut session, *lo, *hi).unwrap();
+                let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(got, want, "step {i}: range [{lo}, {hi}]");
+            }
+            Action::ScannerPass => {
+                tree.compress_pass(&mut session).unwrap();
+            }
+            Action::DrainQueue => {
+                tree.compress_drain(&mut session, 100_000).unwrap();
+            }
+            Action::Verify => {
+                tree.verify(false).unwrap().assert_ok();
+            }
+        }
+    }
+    // End state: model equivalence + structural validity + stable under a
+    // full compression fixpoint.
+    let got = tree.range(&mut session, 0, u64::MAX).unwrap();
+    let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want, "final contents");
+    tree.compress_drain(&mut session, 1_000_000).unwrap();
+    tree.compress_to_fixpoint(&mut session, 128).unwrap();
+    tree.verify(false).unwrap().assert_ok();
+    let got = tree.range(&mut session, 0, u64::MAX).unwrap();
+    assert_eq!(got, want, "contents changed by compression");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn sequential_model_equivalence_k2(actions in proptest::collection::vec(action_strategy(64), 1..400)) {
+        run_model(2, UnderflowPolicy::Enqueue, &actions);
+    }
+
+    #[test]
+    fn sequential_model_equivalence_k5_inline(actions in proptest::collection::vec(action_strategy(512), 1..300)) {
+        run_model(5, UnderflowPolicy::Inline, &actions);
+    }
+
+    #[test]
+    fn sequential_model_equivalence_scanner_only(actions in proptest::collection::vec(action_strategy(128), 1..300)) {
+        run_model(3, UnderflowPolicy::Ignore, &actions);
+    }
+
+    #[test]
+    fn ablated_configs_remain_correct(actions in proptest::collection::vec(action_strategy(64), 1..200),
+                                      gainer_first in any::<bool>(),
+                                      merge_ptrs in any::<bool>()) {
+        let store = PageStore::new(StoreConfig::with_page_size(4096));
+        let cfg = TreeConfig {
+            gainer_first_writes: gainer_first,
+            merge_pointers: merge_ptrs,
+            ..TreeConfig::with_k(2)
+        };
+        let tree = BLinkTree::create(store, cfg).unwrap();
+        let mut session = tree.session();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for a in &actions {
+            match a {
+                Action::Insert(k, v) => {
+                    let got = tree.insert(&mut session, *k, *v).unwrap() == InsertOutcome::Inserted;
+                    let want = !model.contains_key(k);
+                    if want { model.insert(*k, *v); }
+                    prop_assert_eq!(got, want);
+                }
+                Action::Delete(k) => {
+                    prop_assert_eq!(tree.delete(&mut session, *k).unwrap(), model.remove(k));
+                }
+                Action::Search(k) => {
+                    prop_assert_eq!(tree.search(&mut session, *k).unwrap(), model.get(k).copied());
+                }
+                Action::DrainQueue => { tree.compress_drain(&mut session, 50_000).unwrap(); }
+                _ => { tree.compress_pass(&mut session).unwrap(); }
+            }
+        }
+        tree.compress_drain(&mut session, 500_000).unwrap();
+        tree.verify(false).unwrap().assert_ok();
+    }
+}
+
+/// Deterministic regression cases distilled from earlier shrunk failures
+/// and known tricky shapes.
+#[test]
+fn regression_shapes() {
+    use Action::*;
+    // Emptying through repeated single-key cycling.
+    let cycle: Vec<Action> = (0..40)
+        .flat_map(|i| vec![Insert(i % 3, i), Delete(i % 3), DrainQueue])
+        .collect();
+    run_model(2, UnderflowPolicy::Enqueue, &cycle);
+
+    // Interleaved growth and scanner passes.
+    let grow: Vec<Action> = (0..120)
+        .flat_map(|i| {
+            if i % 10 == 9 {
+                vec![Insert(i, i), ScannerPass, Verify]
+            } else {
+                vec![Insert(i, i)]
+            }
+        })
+        .collect();
+    run_model(2, UnderflowPolicy::Ignore, &grow);
+
+    // Deleting a whole prefix then reinserting it in reverse.
+    let mut v: Vec<Action> = (0..60).map(|i| Insert(i, i)).collect();
+    v.extend((0..30).map(Delete));
+    v.push(DrainQueue);
+    v.extend((0..30).rev().map(|i| Insert(i, i + 1000)));
+    v.push(Verify);
+    run_model(2, UnderflowPolicy::Enqueue, &v);
+}
+
+/// The tree handles many small trees being built and torn down without
+/// leaking pages (alloc/free balance through reclamation).
+#[test]
+fn page_balance_over_lifecycle() {
+    let store = PageStore::new(StoreConfig::with_page_size(4096));
+    let tree = BLinkTree::create(Arc::clone(&store), TreeConfig::with_k(2)).unwrap();
+    let mut session = tree.session();
+    for round in 0..5u64 {
+        for i in 0..2_000u64 {
+            tree.insert(&mut session, i, round).unwrap();
+        }
+        for i in 0..2_000u64 {
+            tree.delete(&mut session, i).unwrap();
+        }
+        tree.compress_drain(&mut session, 500_000).unwrap();
+        tree.compress_to_fixpoint(&mut session, 128).unwrap();
+        tree.reclaim().unwrap();
+    }
+    // All that survives: prime + one empty root leaf.
+    assert_eq!(store.live_pages(), 2);
+    tree.verify(false).unwrap().assert_ok();
+}
