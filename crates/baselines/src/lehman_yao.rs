@@ -43,8 +43,8 @@ impl LehmanYaoTree {
             return Err(TreeError::Config("2k pairs do not fit in one page"));
         }
         let registry = SessionRegistry::new(Arc::new(LogicalClock::new()));
-        let prime_pid = store.alloc();
-        let root = store.alloc();
+        let prime_pid = store.alloc()?;
+        let root = store.alloc()?;
         let mut leaf = Node::new_leaf();
         leaf.is_root = true;
         store.put(root, &leaf.encode(store.page_size()))?;
@@ -228,7 +228,7 @@ impl LehmanYaoTree {
 
             // Split; unlike Sagiv, keep the child locked while locking the
             // parent (no overtaking on the way up).
-            let q = self.store.alloc();
+            let q = self.store.alloc()?;
             let right = node.split(q);
             self.write_node(q, &right)?;
             self.write_node(current, &node)?;
@@ -253,12 +253,12 @@ impl LehmanYaoTree {
 
     fn split_root(&self, session: &mut Session, pid: PageId, mut node: Node) -> Result<()> {
         node.is_root = false;
-        let q = self.store.alloc();
+        let q = self.store.alloc()?;
         let right = node.split(q);
         self.write_node(q, &right)?;
         self.write_node(pid, &node)?;
 
-        let r = self.store.alloc();
+        let r = self.store.alloc()?;
         let mut root = Node::new_internal(node.level + 1);
         root.is_root = true;
         root.high = Bound::PosInf;

@@ -49,8 +49,8 @@ impl TopDownTree {
             return Err(TreeError::Config("2k pairs do not fit in one page"));
         }
         let registry = SessionRegistry::new(Arc::new(LogicalClock::new()));
-        let prime_pid = store.alloc();
-        let root = store.alloc();
+        let prime_pid = store.alloc()?;
+        let root = store.alloc()?;
         let mut leaf = Node::new_leaf();
         leaf.is_root = true;
         store.put(root, &leaf.encode(store.page_size()))?;
@@ -213,12 +213,12 @@ impl TopDownTree {
         node: &mut Node,
     ) -> Result<(PageId, PageId)> {
         node.is_root = false;
-        let q = self.store.alloc();
+        let q = self.store.alloc()?;
         let (sep, right) = split_plain(node, self.k);
         self.write_node(q, &right)?;
         self.write_node(pid, node)?;
 
-        let r = self.store.alloc();
+        let r = self.store.alloc()?;
         let mut root = Node::new_internal(node.level + 1);
         root.is_root = true;
         root.p0 = Some(pid);
@@ -242,7 +242,7 @@ impl TopDownTree {
         child: &mut Node,
     ) -> Result<(Key, PageId)> {
         debug_assert_eq!(parent.pointer(ci), child_pid);
-        let q = self.store.alloc();
+        let q = self.store.alloc()?;
         let (sep, right) = split_plain(child, self.k);
         parent.internal_insert_sep(sep, q);
         self.write_node(q, &right)?;

@@ -21,21 +21,21 @@ fn bench_ops(c: &mut Criterion) {
         preloaded(&index);
         let mut s = index.session();
 
-        c.bench_function(&format!("{}/search_hit", index.name()), |b| {
+        c.bench_function(format!("{}/search_hit", index.name()), |b| {
             let mut k = 0u64;
             b.iter(|| {
                 k = (k + 7919 * 2) % (PRELOAD * 2);
                 black_box(index.search(&mut s, k & !1).unwrap())
             })
         });
-        c.bench_function(&format!("{}/search_miss", index.name()), |b| {
+        c.bench_function(format!("{}/search_miss", index.name()), |b| {
             let mut k = 1u64;
             b.iter(|| {
                 k = (k + 7919 * 2) % (PRELOAD * 2);
                 black_box(index.search(&mut s, k | 1).unwrap())
             })
         });
-        c.bench_function(&format!("{}/insert_delete_cycle", index.name()), |b| {
+        c.bench_function(format!("{}/insert_delete_cycle", index.name()), |b| {
             let mut k = 1u64;
             b.iter(|| {
                 k = (k + 7919 * 2) % (PRELOAD * 2);

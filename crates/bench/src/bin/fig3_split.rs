@@ -34,7 +34,7 @@ fn main() {
     let mut a = t.read_node(a_pid).unwrap();
     a.is_root = false; // the figure's A is a non-root leaf
     a.leaf_insert(7, 70);
-    let b_pid = t.store().alloc();
+    let b_pid = t.store().alloc().unwrap();
     let b = a.split(b_pid);
 
     println!("step (a): create B and transfer the upper half — put(B, q):");

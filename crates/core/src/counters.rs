@@ -31,6 +31,9 @@ pub struct TreeCounters {
     pub waits: AtomicU64,
     /// Pages released by deferred reclamation.
     pub reclaimed: AtomicU64,
+    /// Structural repairs run by [`crate::tree::BLinkTree::open_or_recover`]
+    /// (0 when every shutdown was clean).
+    pub recoveries: AtomicU64,
 }
 
 /// Point-in-time copy of [`TreeCounters`].
@@ -46,6 +49,7 @@ pub struct CountersSnapshot {
     pub discards: u64,
     pub waits: u64,
     pub reclaimed: u64,
+    pub recoveries: u64,
 }
 
 impl TreeCounters {
@@ -70,6 +74,7 @@ impl TreeCounters {
             discards: self.discards.load(Ordering::Relaxed),
             waits: self.waits.load(Ordering::Relaxed),
             reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -88,6 +93,7 @@ impl CountersSnapshot {
             discards: self.discards - earlier.discards,
             waits: self.waits - earlier.waits,
             reclaimed: self.reclaimed - earlier.reclaimed,
+            recoveries: self.recoveries - earlier.recoveries,
         }
     }
 }

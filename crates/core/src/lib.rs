@@ -59,6 +59,7 @@ pub mod key;
 pub mod node;
 pub mod ops;
 pub mod prime;
+pub mod recovery;
 pub mod traverse;
 pub mod tree;
 pub mod verify;
@@ -73,5 +74,6 @@ pub use counters::{CountersSnapshot, TreeCounters};
 pub use error::{Result, TreeError};
 pub use key::{Bound, Key};
 pub use node::{Node, NodeKind};
+pub use recovery::RecoveryStats;
 pub use tree::{BLinkTree, InsertOutcome};
 pub use verify::VerifyReport;

@@ -117,7 +117,7 @@ impl BLinkTree {
             // insert-into-unsafe: split, writing the new node B before
             // rewriting A (Fig. 3's two steps), then propagate the pair
             // (A.high, B) to the next higher level.
-            let q = self.store.alloc();
+            let q = self.store.alloc()?;
             let right = node.split(q);
             self.write_node(q, &right)?;
             self.write_node(pid, &node)?;
@@ -142,12 +142,12 @@ impl BLinkTree {
     fn split_root(&self, session: &mut Session, pid: PageId, mut node: Node) -> Result<()> {
         debug_assert!(node.is_root);
         node.is_root = false;
-        let q = self.store.alloc();
+        let q = self.store.alloc()?;
         let right = node.split(q);
         self.write_node(q, &right)?;
         self.write_node(pid, &node)?; // old root loses its root bit here
 
-        let r = self.store.alloc();
+        let r = self.store.alloc()?;
         let mut root = Node::new_internal(node.level + 1);
         root.is_root = true;
         root.low = Bound::NegInf;

@@ -52,8 +52,8 @@ impl BLinkTree {
         cfg.validate(store.page_size())?;
         let clock = Arc::new(LogicalClock::new());
         let registry = SessionRegistry::new(Arc::clone(&clock));
-        let prime_pid = store.alloc();
-        let root = store.alloc();
+        let prime_pid = store.alloc()?;
+        let root = store.alloc()?;
         let mut leaf = Node::new_leaf();
         leaf.is_root = true;
         store.put(root, &leaf.encode(store.page_size()))?;
@@ -91,6 +91,29 @@ impl BLinkTree {
         if u32::from(root.level) + 1 != prime.height {
             return Err(TreeError::Corrupt("root level disagrees with prime height"));
         }
+        let clock = Arc::new(LogicalClock::new());
+        let registry = SessionRegistry::new(Arc::clone(&clock));
+        Ok(Arc::new(BLinkTree {
+            store,
+            cfg,
+            prime_pid,
+            clock,
+            registry,
+            freelist: DeferredFreeList::new(),
+            queue: CompressionQueue::new(),
+            counters: TreeCounters::default(),
+        }))
+    }
+
+    /// Builds a handle without validating the prime block or root — the
+    /// crash-recovery path ([`BLinkTree::open_or_recover`]) repairs trees
+    /// that `open` would rightly reject.
+    pub(crate) fn open_unchecked(
+        store: Arc<PageStore>,
+        cfg: TreeConfig,
+        prime_pid: PageId,
+    ) -> Result<Arc<BLinkTree>> {
+        cfg.validate(store.page_size())?;
         let clock = Arc::new(LogicalClock::new());
         let registry = SessionRegistry::new(Arc::clone(&clock));
         Ok(Arc::new(BLinkTree {
@@ -278,7 +301,7 @@ mod open_tests {
     #[test]
     fn open_rejects_garbage_prime() {
         let store = PageStore::new(StoreConfig::with_page_size(4096));
-        let junk = store.alloc();
+        let junk = store.alloc().unwrap();
         assert!(BLinkTree::open(store, TreeConfig::with_k(2), junk).is_err());
     }
 

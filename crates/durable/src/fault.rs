@@ -1,0 +1,122 @@
+//! Fault injection: simulated crashes at WAL record boundaries.
+//!
+//! A [`FaultInjector`] is shared by a durable store's WAL and file backend.
+//! Arming it with [`crash_after_wal_records`](FaultInjector::crash_after_wal_records)`(n)`
+//! lets the next `n` WAL appends through and then **trips**: every later
+//! disk effect (WAL append, page-file write, fsync) fails with
+//! [`StoreError::Io`], exactly as if the machine lost power after the `n`-th
+//! record reached stable storage. Nothing that was already durable is
+//! touched, so "crash and reopen" is: arm, run a workload until it errors,
+//! drop the store, recover from the directory.
+//!
+//! The durable prefix is deterministic — records `1..=n` — because the
+//! store writes ahead: a page-file write only happens after its WAL record
+//! was accepted, and writes after the trip are suppressed. That makes
+//! crash-point matrix tests exact rather than probabilistic.
+
+use blink_pagestore::{Result, StoreError};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+/// Shared crash switch (see module docs).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    /// Remaining WAL-record budget; negative = unlimited.
+    budget: AtomicI64,
+    /// Set once the budget is exhausted; everything fails afterwards.
+    tripped: AtomicBool,
+    armed: AtomicBool,
+}
+
+fn crashed<T>() -> Result<T> {
+    Err(StoreError::Io(
+        "simulated crash (fault injection)".to_string(),
+    ))
+}
+
+impl FaultInjector {
+    pub fn new() -> FaultInjector {
+        FaultInjector {
+            budget: AtomicI64::new(-1),
+            tripped: AtomicBool::new(false),
+            armed: AtomicBool::new(false),
+        }
+    }
+
+    /// Allows `n` more WAL records, then trips. `n = 0` trips on the very
+    /// next record.
+    pub fn crash_after_wal_records(&self, n: u64) {
+        self.budget
+            .store(i64::try_from(n).expect("budget fits i64"), Ordering::SeqCst);
+        self.tripped.store(false, Ordering::SeqCst);
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the simulated crash happened.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+
+    /// Called by the WAL before appending a record. Consumes one unit of
+    /// budget; trips when the budget is exhausted.
+    pub fn on_wal_record(&self) -> Result<()> {
+        if !self.armed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if self.tripped.load(Ordering::SeqCst) {
+            return crashed();
+        }
+        let left = self.budget.fetch_sub(1, Ordering::SeqCst);
+        if left <= 0 {
+            self.tripped.store(true, Ordering::SeqCst);
+            return crashed();
+        }
+        Ok(())
+    }
+
+    /// Called by the backend/WAL before any non-append disk effect
+    /// (page-file write, fsync). Fails once tripped.
+    pub fn check(&self) -> Result<()> {
+        if self.tripped.load(Ordering::SeqCst) {
+            return crashed();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_injector_is_transparent() {
+        let f = FaultInjector::new();
+        for _ in 0..1000 {
+            f.on_wal_record().unwrap();
+            f.check().unwrap();
+        }
+        assert!(!f.tripped());
+    }
+
+    #[test]
+    fn trips_exactly_after_budget() {
+        let f = FaultInjector::new();
+        f.crash_after_wal_records(3);
+        for _ in 0..3 {
+            f.on_wal_record().unwrap();
+        }
+        assert!(!f.tripped());
+        assert!(f.on_wal_record().is_err());
+        assert!(f.tripped());
+        assert!(f.check().is_err());
+        assert!(f.on_wal_record().is_err());
+    }
+
+    #[test]
+    fn zero_budget_trips_immediately() {
+        let f = FaultInjector::new();
+        f.crash_after_wal_records(0);
+        assert!(f.check().is_ok(), "not tripped until a record is attempted");
+        assert!(f.on_wal_record().is_err());
+        assert!(f.check().is_err());
+    }
+}

@@ -1,0 +1,543 @@
+//! The durable store: page file + WAL + checkpoint metadata in one
+//! directory, recovered on open.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/meta           checkpoint metadata (atomic tmp+rename)
+//! <dir>/pages.db       the page file (FileBackend)
+//! <dir>/wal-XXXXXXXX.seg   WAL segments
+//! ```
+//!
+//! ## Invariant
+//!
+//! `PageStore` writes ahead: every `alloc`/`free`/`put` appends (and
+//! commits) its WAL record before touching `pages.db`. The metadata stores
+//! the free map and capacity as of the last checkpoint plus the first WAL
+//! position to replay. Recovery therefore is:
+//!
+//! 1. load the free map from `meta`;
+//! 2. replay every valid WAL record in order — allocs re-zero pages, puts
+//!    rewrite full page images (fixing any torn page-file writes), frees
+//!    update the map;
+//! 3. truncate the torn tail (if any) and continue appending after it.
+//!
+//! The result is exactly the state after the last durable record — with a
+//! simulated crash ([`FaultInjector`]), exactly the first *n* records.
+//!
+//! [`DurableStore::checkpoint`] (quiescent callers only) bounds replay
+//! work: it flushes everything, rotates the WAL, snapshots the free map
+//! into `meta`, and deletes the old segments.
+
+use crate::backend::FileBackend;
+use crate::crc::crc32;
+use crate::fault::FaultInjector;
+use crate::wal::{self, io_err, FsyncPolicy, ScanReport, Wal, WalOp};
+use blink_pagestore::{
+    Journal, PageBackend, PageId, PageStore, Result, StoreConfig, StoreError, StoreStats,
+};
+use std::fs::{File, OpenOptions};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const META_MAGIC: u32 = 0x4244_5552; // "BDUR"
+const META_VERSION: u32 = 1;
+const META_HEADER: usize = 40;
+
+/// Configuration of a durable store directory.
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Directory holding the page file, WAL and metadata.
+    pub dir: PathBuf,
+    /// Page size in bytes (must match across reopens).
+    pub page_size: usize,
+    /// Commit durability policy.
+    pub fsync: FsyncPolicy,
+    /// WAL segment size before rotation.
+    pub segment_bytes: u64,
+    /// Buffer-pool pages for the in-memory CLOCK cache (residency tracking
+    /// only; reads always hit the page file).
+    pub cache_pages: usize,
+}
+
+impl DurableConfig {
+    /// Defaults: 4 KiB pages, 8 MiB segments, fsync on every commit.
+    pub fn new(dir: impl Into<PathBuf>) -> DurableConfig {
+        DurableConfig {
+            dir: dir.into(),
+            page_size: 4096,
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 << 20,
+            cache_pages: 0,
+        }
+    }
+
+    /// Same, with group commit in a `window` (a good throughput default:
+    /// `Duration::from_micros(500)`).
+    pub fn with_group_commit(dir: impl Into<PathBuf>, window: Duration) -> DurableConfig {
+        DurableConfig {
+            fsync: FsyncPolicy::Group { window },
+            ..DurableConfig::new(dir)
+        }
+    }
+
+    fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            page_size: self.page_size,
+            io_delay: None,
+            cache_pages: self.cache_pages,
+        }
+    }
+
+    fn pages_path(&self) -> PathBuf {
+        self.dir.join("pages.db")
+    }
+
+    fn meta_path(&self) -> PathBuf {
+        self.dir.join("meta")
+    }
+}
+
+/// What recovery did when the store was opened.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryInfo {
+    /// WAL records replayed.
+    pub replayed: u64,
+    /// True when a torn tail (half-written record) was discarded.
+    pub torn_tail: bool,
+    /// Pages allocated after replay.
+    pub live_pages: usize,
+    /// Total page slots after replay.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Meta {
+    page_size: usize,
+    wal_start_seq: u64,
+    wal_start_lsn: u64,
+    allocated: Vec<bool>,
+}
+
+fn encode_meta(m: &Meta) -> Vec<u8> {
+    let cap = m.allocated.len();
+    let mut buf = Vec::with_capacity(META_HEADER + cap.div_ceil(8) + 4);
+    buf.extend_from_slice(&META_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&META_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(m.page_size as u32).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    buf.extend_from_slice(&m.wal_start_seq.to_le_bytes());
+    buf.extend_from_slice(&m.wal_start_lsn.to_le_bytes());
+    buf.extend_from_slice(&(cap as u64).to_le_bytes());
+    let mut bitmap = vec![0u8; cap.div_ceil(8)];
+    for (i, &a) in m.allocated.iter().enumerate() {
+        if a {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    buf.extend_from_slice(&bitmap);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<Meta> {
+    if bytes.len() < META_HEADER + 4 {
+        return Err(StoreError::Corrupt("meta file too short"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(StoreError::Corrupt("meta checksum mismatch"));
+    }
+    if body[0..4] != META_MAGIC.to_le_bytes() || body[4..8] != META_VERSION.to_le_bytes() {
+        return Err(StoreError::Corrupt("bad meta magic/version"));
+    }
+    let page_size = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+    let wal_start_seq = u64::from_le_bytes(body[16..24].try_into().unwrap());
+    let wal_start_lsn = u64::from_le_bytes(body[24..32].try_into().unwrap());
+    let cap = u64::from_le_bytes(body[32..40].try_into().unwrap()) as usize;
+    let bitmap = &body[META_HEADER..];
+    if bitmap.len() != cap.div_ceil(8) {
+        return Err(StoreError::Corrupt("meta bitmap length mismatch"));
+    }
+    let allocated = (0..cap)
+        .map(|i| bitmap[i / 8] & (1 << (i % 8)) != 0)
+        .collect();
+    Ok(Meta {
+        page_size,
+        wal_start_seq,
+        wal_start_lsn,
+        allocated,
+    })
+}
+
+fn write_meta_atomic(dir: &Path, path: &Path, m: &Meta) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, encode_meta(m)).map_err(|e| io_err("write meta.tmp", e))?;
+    OpenOptions::new()
+        .read(true)
+        .open(&tmp)
+        .and_then(|f| f.sync_data())
+        .map_err(|e| io_err("sync meta.tmp", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename meta", e))?;
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("sync store directory", e))
+}
+
+/// A crash-recoverable page store in a directory (see module docs).
+#[derive(Debug)]
+pub struct DurableStore {
+    cfg: DurableConfig,
+    store: Arc<PageStore>,
+    wal: Arc<Wal>,
+    fault: Arc<FaultInjector>,
+    recovery: RecoveryInfo,
+}
+
+impl DurableStore {
+    /// Initializes a fresh store directory. Fails if one already exists.
+    pub fn create(cfg: DurableConfig) -> Result<DurableStore> {
+        std::fs::create_dir_all(&cfg.dir).map_err(|e| io_err("create store dir", e))?;
+        if cfg.meta_path().exists() {
+            return Err(StoreError::Config("store directory already initialized"));
+        }
+        write_meta_atomic(
+            &cfg.dir,
+            &cfg.meta_path(),
+            &Meta {
+                page_size: cfg.page_size,
+                wal_start_seq: 1,
+                wal_start_lsn: 1,
+                allocated: Vec::new(),
+            },
+        )?;
+        DurableStore::open(cfg)
+    }
+
+    /// Opens an existing store directory, replaying the WAL (recovery).
+    pub fn open(cfg: DurableConfig) -> Result<DurableStore> {
+        let mut meta_bytes = Vec::new();
+        File::open(cfg.meta_path())
+            .and_then(|mut f| f.read_to_end(&mut meta_bytes))
+            .map_err(|e| io_err("read meta", e))?;
+        let meta = decode_meta(&meta_bytes)?;
+        if meta.page_size != cfg.page_size {
+            return Err(StoreError::Config("page size disagrees with store meta"));
+        }
+
+        let fault = Arc::new(FaultInjector::new());
+        let stats = Arc::new(StoreStats::default());
+        let backend = FileBackend::open(&cfg.pages_path(), cfg.page_size, Arc::clone(&fault))?;
+        let mut allocated = meta.allocated;
+        backend.grow(allocated.len())?;
+
+        // Replay: every valid record, in order, over the page file.
+        let zero = vec![0u8; cfg.page_size];
+        let report = wal::scan(
+            &cfg.dir,
+            meta.wal_start_seq,
+            meta.wal_start_lsn,
+            cfg.page_size + 8,
+            |_lsn, op| {
+                let (pid, image): (PageId, Option<&[u8]>) = match &op {
+                    WalOp::Alloc(pid) => (*pid, Some(&zero)),
+                    WalOp::Free(pid) => (*pid, None),
+                    WalOp::Put(pid, data) => {
+                        if data.len() != cfg.page_size {
+                            return Err(StoreError::Corrupt("wal put with wrong page size"));
+                        }
+                        (*pid, Some(data))
+                    }
+                };
+                let idx = (pid.to_raw() - 1) as usize;
+                if idx >= allocated.len() {
+                    allocated.resize(idx + 1, false);
+                    backend.grow(idx + 1)?;
+                }
+                match op {
+                    WalOp::Alloc(_) => allocated[idx] = true,
+                    WalOp::Free(_) => allocated[idx] = false,
+                    WalOp::Put(..) => {}
+                }
+                if let Some(image) = image {
+                    backend.write(idx, image)?;
+                }
+                Ok(())
+            },
+        )?;
+        StoreStats::add(&stats.recovery_replayed, report.replayed);
+
+        Self::trim_log_tail(&cfg.dir, &report)?;
+        backend.sync()?;
+
+        let wal = Arc::new(Wal::open(
+            &cfg.dir,
+            cfg.fsync,
+            cfg.segment_bytes,
+            report.last_seg_seq,
+            report.next_lsn,
+            Arc::clone(&fault),
+            Arc::clone(&stats),
+        )?);
+        let store = PageStore::with_parts(
+            cfg.store_config(),
+            Box::new(backend),
+            Some(Arc::clone(&wal) as Arc<dyn Journal>),
+            stats,
+            &allocated,
+        )?;
+        let recovery = RecoveryInfo {
+            replayed: report.replayed,
+            torn_tail: report.torn,
+            live_pages: store.live_pages(),
+            capacity: store.capacity(),
+        };
+        Ok(DurableStore {
+            cfg,
+            store,
+            wal,
+            fault,
+            recovery,
+        })
+    }
+
+    /// Truncates the torn tail of the last valid segment and deletes any
+    /// segments past it (unreachable after a mid-log tear).
+    fn trim_log_tail(dir: &Path, report: &ScanReport) -> Result<()> {
+        let last = wal::segment_path(dir, report.last_seg_seq);
+        if last.exists() {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&last)
+                .map_err(|e| io_err("open segment for trim", e))?;
+            f.set_len(report.last_seg_valid_len)
+                .map_err(|e| io_err("truncate torn tail", e))?;
+            f.sync_data()
+                .map_err(|e| io_err("sync trimmed segment", e))?;
+        }
+        for seq in wal::list_segments(dir)? {
+            if seq > report.last_seg_seq {
+                std::fs::remove_file(wal::segment_path(dir, seq))
+                    .map_err(|e| io_err("remove stale segment", e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The page store (attach a `BLinkTree` to it, run workloads, …).
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    /// What recovery did when this handle was opened.
+    pub fn recovery(&self) -> &RecoveryInfo {
+        &self.recovery
+    }
+
+    /// The fault-injection switch (tests; see [`FaultInjector`]).
+    pub fn fault(&self) -> &Arc<FaultInjector> {
+        &self.fault
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Checkpoints the store: flushes everything, snapshots the free map
+    /// into `meta`, and discards replayed WAL segments. **Quiescent callers
+    /// only** — no in-flight operations.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.wal.sync()?;
+        self.store.sync()?;
+        let (seq, lsn) = self.wal.rotate_for_checkpoint()?;
+        let capacity = self.store.capacity();
+        let mut allocated = vec![false; capacity];
+        for pid in self.store.allocated_pages() {
+            allocated[(pid.to_raw() - 1) as usize] = true;
+        }
+        write_meta_atomic(
+            &self.cfg.dir,
+            &self.cfg.meta_path(),
+            &Meta {
+                page_size: self.cfg.page_size,
+                wal_start_seq: seq,
+                wal_start_lsn: lsn,
+                allocated,
+            },
+        )?;
+        for old in wal::list_segments(&self.cfg.dir)? {
+            if old < seq {
+                std::fs::remove_file(wal::segment_path(&self.cfg.dir, old))
+                    .map_err(|e| io_err("remove checkpointed segment", e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the WAL and page file (clean-shutdown barrier).
+    pub fn sync(&self) -> Result<()> {
+        self.store.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blink_pagestore::Page;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("blink-ds-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg(dir: &Path) -> DurableConfig {
+        DurableConfig {
+            page_size: 128,
+            fsync: FsyncPolicy::Never,
+            segment_bytes: 4096,
+            ..DurableConfig::new(dir)
+        }
+    }
+
+    #[test]
+    fn create_open_roundtrip_preserves_pages() {
+        let dir = tmpdir("roundtrip");
+        let (a, b);
+        {
+            let ds = DurableStore::create(cfg(&dir)).unwrap();
+            let store = ds.store();
+            a = store.alloc().unwrap();
+            b = store.alloc().unwrap();
+            let mut p = Page::zeroed(128);
+            p.bytes_mut().fill(0x3C);
+            store.put(a, &p).unwrap();
+            store.free(b).unwrap();
+            ds.sync().unwrap();
+        }
+        let ds = DurableStore::open(cfg(&dir)).unwrap();
+        assert_eq!(ds.recovery().replayed, 4); // alloc, alloc, put, free
+        let store = ds.store();
+        assert!(store.is_allocated(a));
+        assert!(!store.is_allocated(b));
+        assert_eq!(store.get(a).unwrap().bytes()[5], 0x3C);
+        assert_eq!(store.live_pages(), 1);
+        // The freed page is reusable after recovery.
+        assert_eq!(store.alloc().unwrap(), b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_twice_fails() {
+        let dir = tmpdir("twice");
+        let _ds = DurableStore::create(cfg(&dir)).unwrap();
+        assert!(matches!(
+            DurableStore::create(cfg(&dir)),
+            Err(StoreError::Config(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn page_size_mismatch_is_rejected() {
+        let dir = tmpdir("psize");
+        drop(DurableStore::create(cfg(&dir)).unwrap());
+        let wrong = DurableConfig {
+            page_size: 256,
+            ..cfg(&dir)
+        };
+        assert!(matches!(
+            DurableStore::open(wrong),
+            Err(StoreError::Config(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_recovers_exactly_the_durable_prefix() {
+        let dir = tmpdir("crash");
+        {
+            let ds = DurableStore::create(cfg(&dir)).unwrap();
+            let store = ds.store();
+            let a = store.alloc().unwrap(); // record 1
+            let mut p = Page::zeroed(128);
+            // alloc(a) is already record 1; allow two more (put#1, put#2),
+            // so put#3 dies and the durable prefix is 3 records.
+            ds.fault().crash_after_wal_records(2);
+            p.bytes_mut().fill(1);
+            store.put(a, &p).unwrap(); // record 2
+            p.bytes_mut().fill(2);
+            store.put(a, &p).unwrap(); // record 3
+            p.bytes_mut().fill(3);
+            assert!(matches!(store.put(a, &p), Err(StoreError::Io(_))));
+            assert!(matches!(store.alloc(), Err(StoreError::Io(_))));
+        }
+        let ds = DurableStore::open(cfg(&dir)).unwrap();
+        assert_eq!(ds.recovery().replayed, 3);
+        let store = ds.store();
+        let a = PageId::from_raw(1).unwrap();
+        assert_eq!(
+            store.get(a).unwrap().bytes()[0],
+            2,
+            "state is exactly as of the last durable record"
+        );
+        assert_eq!(store.live_pages(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_discards_segments() {
+        let dir = tmpdir("ckpt");
+        let a;
+        {
+            let ds = DurableStore::create(cfg(&dir)).unwrap();
+            let store = ds.store();
+            a = store.alloc().unwrap();
+            let mut p = Page::zeroed(128);
+            for i in 0..100u8 {
+                p.bytes_mut().fill(i);
+                store.put(a, &p).unwrap();
+            }
+            ds.checkpoint().unwrap();
+            // Two more records after the checkpoint.
+            p.bytes_mut().fill(0xEE);
+            store.put(a, &p).unwrap();
+            let b = store.alloc().unwrap();
+            let _ = b;
+            ds.sync().unwrap();
+        }
+        let ds = DurableStore::open(cfg(&dir)).unwrap();
+        assert_eq!(
+            ds.recovery().replayed,
+            2,
+            "only post-checkpoint records replay"
+        );
+        assert_eq!(ds.store().get(a).unwrap().bytes()[0], 0xEE);
+        assert_eq!(ds.store().live_pages(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_recovery_continues_the_log() {
+        let dir = tmpdir("continue");
+        {
+            let ds = DurableStore::create(cfg(&dir)).unwrap();
+            let a = ds.store().alloc().unwrap();
+            let _ = a;
+        }
+        {
+            let ds = DurableStore::open(cfg(&dir)).unwrap();
+            let b = ds.store().alloc().unwrap();
+            assert_eq!(b.to_raw(), 2);
+        }
+        let ds = DurableStore::open(cfg(&dir)).unwrap();
+        assert_eq!(ds.recovery().replayed, 2);
+        assert_eq!(ds.store().live_pages(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

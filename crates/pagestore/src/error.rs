@@ -19,6 +19,10 @@ pub enum StoreError {
     RecordTooLarge { len: usize, max: usize },
     /// Invalid configuration (e.g. page size too small for the node format).
     Config(&'static str),
+    /// An I/O failure from a durable backend or write-ahead log — including
+    /// an injected crash (fault injection stops a store by making every
+    /// subsequent disk effect fail with this).
+    Io(String),
 }
 
 impl fmt::Display for StoreError {
@@ -35,6 +39,7 @@ impl fmt::Display for StoreError {
                 )
             }
             StoreError::Config(what) => write!(f, "invalid configuration: {what}"),
+            StoreError::Io(what) => write!(f, "i/o error: {what}"),
         }
     }
 }

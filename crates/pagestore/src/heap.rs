@@ -114,7 +114,7 @@ impl RecordHeap {
             let pid = match open.current {
                 Some(pid) => pid,
                 None => {
-                    let pid = self.store.alloc();
+                    let pid = self.store.alloc()?;
                     let mut page = Page::zeroed(page_size);
                     write_u16(page.bytes_mut(), 4, HDR as u16); // free_off
                     self.store.put(pid, &page)?;

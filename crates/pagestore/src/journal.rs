@@ -1,0 +1,33 @@
+//! The journaling hook: how a [`crate::PageStore`] reports mutations to an
+//! attached write-ahead log.
+//!
+//! The store calls the journal **before** applying each mutation to its
+//! [`crate::backend::PageBackend`] (write-ahead ordering). Each call is one
+//! commit point: when it returns `Ok`, the record is durable to the degree
+//! the journal's fsync policy promises. A journal error aborts the mutation
+//! — the store leaves its state unchanged and surfaces the error, which is
+//! how an injected crash (see `blink-durable`) stops a workload.
+//!
+//! The concrete implementation lives in the `blink-durable` crate; keeping
+//! only the trait here lets the tree and all experiments stay free of any
+//! durability dependency.
+
+use crate::error::Result;
+use crate::page::PageId;
+use std::fmt;
+
+/// Receiver for page-level mutations, in commit order.
+pub trait Journal: Send + Sync + fmt::Debug {
+    /// A page was allocated (zero-filled). Replay must zero the page.
+    fn log_alloc(&self, pid: PageId) -> Result<()>;
+
+    /// A page was returned to the free list.
+    fn log_free(&self, pid: PageId) -> Result<()>;
+
+    /// A page was overwritten with `data` (a full page image).
+    fn log_put(&self, pid: PageId, data: &[u8]) -> Result<()>;
+
+    /// Forces everything appended so far to stable storage (used on clean
+    /// shutdown and checkpoint, regardless of the fsync policy).
+    fn sync(&self) -> Result<()>;
+}

@@ -27,10 +27,12 @@
 //!   (Bayer–Schkolnick-style) baseline the paper's introduction compares
 //!   against.
 
+pub mod backend;
 pub mod cache;
 pub mod clock;
 pub mod error;
 pub mod heap;
+pub mod journal;
 pub mod page;
 pub mod reclaim;
 pub mod rwlock;
@@ -38,10 +40,12 @@ pub mod session;
 pub mod stats;
 pub mod store;
 
+pub use backend::{MemBackend, PageBackend};
 pub use cache::ClockCache;
 pub use clock::LogicalClock;
 pub use error::{Result, StoreError};
 pub use heap::{RecordHeap, RecordId};
+pub use journal::Journal;
 pub use page::{Page, PageId};
 pub use reclaim::DeferredFreeList;
 pub use session::{Session, SessionRegistry, SessionStats};

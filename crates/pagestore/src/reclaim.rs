@@ -78,9 +78,9 @@ mod tests {
     fn reclaims_only_below_horizon() {
         let store = PageStore::new(StoreConfig::with_page_size(64));
         let list = DeferredFreeList::new();
-        let a = store.alloc();
-        let b = store.alloc();
-        let c = store.alloc();
+        let a = store.alloc().unwrap();
+        let b = store.alloc().unwrap();
+        let c = store.alloc().unwrap();
         list.defer(a, 10);
         list.defer(b, 20);
         list.defer(c, 30);
@@ -106,7 +106,7 @@ mod tests {
     fn deferred_page_remains_readable_until_reclaimed() {
         let store = PageStore::new(StoreConfig::with_page_size(64));
         let list = DeferredFreeList::new();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         list.defer(pid, 100);
         // Still readable — this is the whole point of deferral.
         assert!(store.get(pid).is_ok());

@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn multiple_readers_coexist() {
         let (store, table, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut s1 = reg.open();
         let mut s2 = reg.open();
         table.lock_shared(pid, &mut s1);
@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn writer_excludes_readers_and_writers() {
         let (store, table, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut w = reg.open();
         table.lock_exclusive(pid, &mut w);
 
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn waiting_writer_blocks_new_readers() {
         let (store, table, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut r1 = reg.open();
         table.lock_shared(pid, &mut r1);
 
@@ -232,7 +232,7 @@ mod tests {
     #[test]
     fn stats_count_modes_separately() {
         let (store, table, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut s = reg.open();
         table.lock_shared(pid, &mut s);
         table.unlock_shared(pid, &mut s);

@@ -36,6 +36,17 @@ pub struct StoreStats {
     pub cache_hits: AtomicU64,
     /// Buffer-cache misses.
     pub cache_misses: AtomicU64,
+    /// WAL records appended (journaled stores only).
+    pub wal_records: AtomicU64,
+    /// WAL fsync (sync_data) calls.
+    pub wal_fsyncs: AtomicU64,
+    /// Group-commit flushes (each durably commits a batch of records).
+    pub wal_group_commits: AtomicU64,
+    /// Records covered by those group-commit flushes; divide by
+    /// `wal_group_commits` for the mean batch size.
+    pub wal_group_commit_records: AtomicU64,
+    /// WAL records replayed by recovery when the store was opened.
+    pub recovery_replayed: AtomicU64,
 }
 
 /// A point-in-time copy of [`StoreStats`], convenient for diffing.
@@ -54,14 +65,22 @@ pub struct StatsSnapshot {
     pub rw_wait_ns: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    pub wal_records: u64,
+    pub wal_fsyncs: u64,
+    pub wal_group_commits: u64,
+    pub wal_group_commit_records: u64,
+    pub recovery_replayed: u64,
 }
 
 impl StoreStats {
-    pub(crate) fn bump(counter: &AtomicU64) {
+    /// Adds 1 to a counter (public so journal implementations in other
+    /// crates can maintain the WAL counters on a shared `StoreStats`).
+    pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn add(counter: &AtomicU64, v: u64) {
+    /// Adds `v` to a counter.
+    pub fn add(counter: &AtomicU64, v: u64) {
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
@@ -81,6 +100,11 @@ impl StoreStats {
             rw_wait_ns: self.rw_wait_ns.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_group_commits: self.wal_group_commits.load(Ordering::Relaxed),
+            wal_group_commit_records: self.wal_group_commit_records.load(Ordering::Relaxed),
+            recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,6 +126,12 @@ impl StatsSnapshot {
             rw_wait_ns: self.rw_wait_ns - earlier.rw_wait_ns,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            wal_records: self.wal_records - earlier.wal_records,
+            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
+            wal_group_commits: self.wal_group_commits - earlier.wal_group_commits,
+            wal_group_commit_records: self.wal_group_commit_records
+                - earlier.wal_group_commit_records,
+            recovery_replayed: self.recovery_replayed - earlier.recovery_replayed,
         }
     }
 

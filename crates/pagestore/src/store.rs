@@ -9,13 +9,21 @@
 //! * Pages are allocated from a free list and freed back to it (freeing is
 //!   normally routed through [`crate::reclaim::DeferredFreeList`]).
 //!
+//! The *bytes* live in a pluggable [`PageBackend`]: the in-memory
+//! [`MemBackend`] (default) or a file-backed one (`blink-durable`). When a
+//! [`Journal`] is attached, every `alloc`/`free`/`put` is logged **before**
+//! it is applied — write-ahead ordering — making the store recoverable from
+//! the log plus a checkpoint image.
+//!
 //! An optional per-access delay (`StoreConfig::io_delay`) simulates the
 //! latency of a real disk/SSD block access **inside** the latch, so that the
 //! relative cost of holding locks across I/O — the effect the paper's
 //! lock-count argument is about — is observable in experiments.
 
+use crate::backend::{MemBackend, PageBackend};
 use crate::cache::ClockCache;
 use crate::error::{Result, StoreError};
+use crate::journal::Journal;
 use crate::page::{Page, PageId};
 use crate::session::Session;
 use crate::stats::StoreStats;
@@ -57,12 +65,6 @@ impl StoreConfig {
             cache_pages: 0,
         }
     }
-}
-
-#[derive(Debug)]
-struct SlotData {
-    bytes: Box<[u8]>,
-    allocated: bool,
 }
 
 /// The paper's lock: exclusive among lockers, invisible to readers.
@@ -140,31 +142,76 @@ impl PaperLock {
     }
 }
 
+/// Per-page bookkeeping: the §2.2 latch (doubling as the allocation flag
+/// holder) and the paper lock. Holding the `allocated` mutex across a
+/// backend read/write is what makes `get`/`put` indivisible per page.
 #[derive(Debug)]
 struct Slot {
-    data: Mutex<SlotData>,
+    allocated: Mutex<bool>,
     lock: PaperLock,
 }
 
-/// An in-memory array of fixed-size pages implementing §2.2's model.
+/// §2.2's model of secondary storage over a pluggable [`PageBackend`].
 #[derive(Debug)]
 pub struct PageStore {
     cfg: StoreConfig,
+    backend: Box<dyn PageBackend>,
+    journal: Option<Arc<dyn Journal>>,
     slots: RwLock<Vec<Arc<Slot>>>,
     free: Mutex<Vec<PageId>>,
     cache: Mutex<ClockCache>,
-    stats: StoreStats,
+    stats: Arc<StoreStats>,
+    zero: Box<[u8]>,
 }
 
 impl PageStore {
+    /// An in-memory, non-durable store (the original §2.2 slot array).
     pub fn new(cfg: StoreConfig) -> Arc<PageStore> {
-        Arc::new(PageStore {
+        let backend = Box::new(MemBackend::new(cfg.page_size));
+        PageStore::with_parts(cfg, backend, None, Arc::new(StoreStats::default()), &[])
+            .expect("in-memory store construction cannot fail")
+    }
+
+    /// Builds a store over an arbitrary backend, optionally journaled.
+    ///
+    /// `allocated[i]` seeds the allocation state of page `i + 1` (recovery
+    /// passes the state reconstructed from checkpoint + log replay; an empty
+    /// slice means a fresh store). `stats` is shared so the journal
+    /// implementation can maintain the WAL counters on the same object.
+    pub fn with_parts(
+        cfg: StoreConfig,
+        backend: Box<dyn PageBackend>,
+        journal: Option<Arc<dyn Journal>>,
+        stats: Arc<StoreStats>,
+        allocated: &[bool],
+    ) -> Result<Arc<PageStore>> {
+        if backend.page_size() != cfg.page_size {
+            return Err(StoreError::Config(
+                "backend page size disagrees with config",
+            ));
+        }
+        backend.grow(allocated.len())?;
+        let mut slots = Vec::with_capacity(allocated.len());
+        let mut free = Vec::new();
+        for (i, &is_alloc) in allocated.iter().enumerate() {
+            slots.push(Arc::new(Slot {
+                allocated: Mutex::new(is_alloc),
+                lock: PaperLock::new(),
+            }));
+            if !is_alloc {
+                free.push(PageId::from_index(i));
+            }
+        }
+        Ok(Arc::new(PageStore {
             cache: Mutex::new(ClockCache::new(cfg.cache_pages)),
+            zero: vec![0u8; cfg.page_size].into_boxed_slice(),
             cfg,
-            slots: RwLock::new(Vec::new()),
-            free: Mutex::new(Vec::new()),
-            stats: StoreStats::default(),
-        })
+            backend,
+            journal,
+            slots: RwLock::new(slots),
+            free: Mutex::new(free),
+            stats,
+        }))
     }
 
     /// Store configuration.
@@ -182,6 +229,20 @@ impl PageStore {
         &self.stats
     }
 
+    /// The attached journal, if this store is durable.
+    pub fn journal(&self) -> Option<&Arc<dyn Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Flushes the journal (regardless of fsync policy) and the backend.
+    /// A clean-shutdown barrier; no-op for in-memory stores.
+    pub fn sync(&self) -> Result<()> {
+        if let Some(j) = &self.journal {
+            j.sync()?;
+        }
+        self.backend.sync()
+    }
+
     /// Total slots ever allocated (live + free-listed).
     pub fn capacity(&self) -> usize {
         self.slots.read().len()
@@ -190,6 +251,26 @@ impl PageStore {
     /// Pages currently allocated (not on the free list).
     pub fn live_pages(&self) -> usize {
         self.capacity() - self.free.lock().len()
+    }
+
+    /// Ids of all currently allocated pages, ascending. For recovery
+    /// (garbage collection, checkpointing) on a quiesced store.
+    pub fn allocated_pages(&self) -> Vec<PageId> {
+        let slots = self.slots.read();
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| *s.allocated.lock())
+            .map(|(i, _)| PageId::from_index(i))
+            .collect()
+    }
+
+    /// Whether `pid` names a currently allocated page.
+    pub fn is_allocated(&self, pid: PageId) -> bool {
+        match self.slot(pid) {
+            Ok(slot) => *slot.allocated.lock(),
+            Err(_) => false,
+        }
     }
 
     fn slot(&self, pid: PageId) -> Result<Arc<Slot>> {
@@ -209,27 +290,60 @@ impl PageStore {
         }
     }
 
-    /// Allocates a zeroed page and returns its id.
-    pub fn alloc(&self) -> PageId {
-        StoreStats::bump(&self.stats.allocs);
-        if let Some(pid) = self.free.lock().pop() {
-            let slot = self.slot(pid).expect("free-listed page must exist");
-            let mut d = slot.data.lock();
-            debug_assert!(!d.allocated, "page on free list was allocated");
-            d.bytes.fill(0);
-            d.allocated = true;
-            return pid;
+    fn log(&self, f: impl FnOnce(&dyn Journal) -> Result<()>) -> Result<()> {
+        if let Some(j) = &self.journal {
+            f(j.as_ref())?;
+            StoreStats::bump(&self.stats.wal_records);
         }
-        let slot = Arc::new(Slot {
-            data: Mutex::new(SlotData {
-                bytes: vec![0u8; self.cfg.page_size].into_boxed_slice(),
-                allocated: true,
-            }),
-            lock: PaperLock::new(),
-        });
-        let mut slots = self.slots.write();
-        slots.push(slot);
-        PageId::from_index(slots.len() - 1)
+        Ok(())
+    }
+
+    /// Allocates a zeroed page and returns its id. With a journal attached
+    /// the allocation is logged (and committed) before it becomes visible;
+    /// on a journal or backend error the page stays free.
+    pub fn alloc(&self) -> Result<PageId> {
+        // NB: pop in its own statement — the guard must not live into the
+        // body, which re-locks `free` on the journal-error path.
+        let reused = self.free.lock().pop();
+        if let Some(pid) = reused {
+            let slot = self.slot(pid).expect("free-listed page must exist");
+            let mut allocated = slot.allocated.lock();
+            debug_assert!(!*allocated, "page on free list was allocated");
+            let r = self
+                .log(|j| j.log_alloc(pid))
+                .and_then(|()| self.backend.write(pid.index(), &self.zero));
+            if let Err(e) = r {
+                drop(allocated);
+                self.free.lock().push(pid);
+                return Err(e);
+            }
+            *allocated = true;
+            StoreStats::bump(&self.stats.allocs);
+            return Ok(pid);
+        }
+        // Growth path: publish the slot first, then journal *outside* the
+        // slots write lock — a WAL commit can block on an fsync or a whole
+        // group-commit window, and every get/put needs slots.read(). The
+        // pid is invisible to other threads until returned, so logging
+        // after publication cannot reorder same-page records.
+        let pid = {
+            let mut slots = self.slots.write();
+            let idx = slots.len();
+            self.backend.grow(idx + 1)?;
+            slots.push(Arc::new(Slot {
+                allocated: Mutex::new(true),
+                lock: PaperLock::new(),
+            }));
+            PageId::from_index(idx)
+        };
+        if let Err(e) = self.log(|j| j.log_alloc(pid)) {
+            let slot = self.slot(pid).expect("slot was just published");
+            *slot.allocated.lock() = false;
+            self.free.lock().push(pid);
+            return Err(e);
+        }
+        StoreStats::bump(&self.stats.allocs);
+        Ok(pid)
     }
 
     /// Returns a page to the free list. Callers that deal with concurrent
@@ -241,11 +355,12 @@ impl PageStore {
     pub fn free(&self, pid: PageId) -> Result<()> {
         let slot = self.slot(pid)?;
         {
-            let mut d = slot.data.lock();
-            if !d.allocated {
+            let mut allocated = slot.allocated.lock();
+            if !*allocated {
                 return Err(StoreError::PageFreed(pid));
             }
-            d.allocated = false;
+            self.log(|j| j.log_free(pid))?;
+            *allocated = false;
         }
         StoreStats::bump(&self.stats.frees);
         if self.cfg.cache_pages > 0 {
@@ -269,15 +384,17 @@ impl PageStore {
             }
             hit
         };
-        let d = slot.data.lock();
-        if !d.allocated {
-            return Err(StoreError::PageFreed(pid));
+        let mut page = Page::zeroed(self.cfg.page_size);
+        {
+            let allocated = slot.allocated.lock();
+            if !*allocated {
+                return Err(StoreError::PageFreed(pid));
+            }
+            if !cached {
+                self.simulate_io();
+            }
+            self.backend.read(pid.index(), page.bytes_mut())?;
         }
-        if !cached {
-            self.simulate_io();
-        }
-        let page = Page::from_bytes(d.bytes.to_vec().into_boxed_slice());
-        drop(d);
         if self.cfg.cache_pages > 0 && !cached {
             self.cache.lock().admit(pid);
         }
@@ -285,19 +402,23 @@ impl PageStore {
     }
 
     /// §2.2 `put(A, x)`: overwrites the page with the buffer's contents.
+    /// With a journal attached the full page image is logged (and committed
+    /// per the fsync policy) before the backend write — write-ahead order.
     pub fn put(&self, pid: PageId, page: &Page) -> Result<()> {
         assert_eq!(page.len(), self.cfg.page_size, "put with wrong page size");
         let slot = self.slot(pid)?;
         StoreStats::bump(&self.stats.puts);
-        let mut d = slot.data.lock();
-        if !d.allocated {
-            return Err(StoreError::PageFreed(pid));
+        {
+            let allocated = slot.allocated.lock();
+            if !*allocated {
+                return Err(StoreError::PageFreed(pid));
+            }
+            self.log(|j| j.log_put(pid, page.bytes()))?;
+            // Write-through: the write always reaches storage (pays the
+            // delay), and the page is admitted/refreshed in the cache.
+            self.simulate_io();
+            self.backend.write(pid.index(), page.bytes())?;
         }
-        // Write-through: the write always reaches storage (pays the delay),
-        // and the page is admitted/refreshed in the cache.
-        self.simulate_io();
-        d.bytes.copy_from_slice(page.bytes());
-        drop(d);
         if self.cfg.cache_pages > 0 {
             let mut c = self.cache.lock();
             if !c.touch(pid) {
@@ -391,7 +512,7 @@ mod tests {
     #[test]
     fn alloc_get_put_roundtrip() {
         let (store, _) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut page = store.get(pid).unwrap();
         assert!(page.bytes().iter().all(|&b| b == 0));
         page.bytes_mut()[0] = 7;
@@ -405,12 +526,12 @@ mod tests {
     #[test]
     fn free_then_get_errors_and_alloc_reuses() {
         let (store, _) = setup();
-        let a = store.alloc();
-        let b = store.alloc();
+        let a = store.alloc().unwrap();
+        let b = store.alloc().unwrap();
         store.free(a).unwrap();
         assert_eq!(store.get(a), Err(StoreError::PageFreed(a)));
         assert_eq!(store.free(a), Err(StoreError::PageFreed(a)));
-        let c = store.alloc(); // reuses a
+        let c = store.alloc().unwrap(); // reuses a
         assert_eq!(c, a);
         assert!(store.get(c).unwrap().bytes().iter().all(|&b| b == 0));
         assert_eq!(store.live_pages(), 2);
@@ -425,9 +546,55 @@ mod tests {
     }
 
     #[test]
+    fn allocated_pages_tracks_state() {
+        let (store, _) = setup();
+        let a = store.alloc().unwrap();
+        let b = store.alloc().unwrap();
+        let c = store.alloc().unwrap();
+        store.free(b).unwrap();
+        assert_eq!(store.allocated_pages(), vec![a, c]);
+        assert!(store.is_allocated(a));
+        assert!(!store.is_allocated(b));
+        assert!(!store.is_allocated(PageId::from_raw(99).unwrap()));
+    }
+
+    #[test]
+    fn with_parts_seeds_allocation_state() {
+        let backend = Box::new(crate::backend::MemBackend::new(128));
+        let store = PageStore::with_parts(
+            StoreConfig::with_page_size(128),
+            backend,
+            None,
+            Arc::new(StoreStats::default()),
+            &[true, false, true],
+        )
+        .unwrap();
+        assert_eq!(store.capacity(), 3);
+        assert_eq!(store.live_pages(), 2);
+        let p2 = PageId::from_raw(2).unwrap();
+        assert!(!store.is_allocated(p2));
+        // The free slot is reused before any growth.
+        assert_eq!(store.alloc().unwrap(), p2);
+        assert_eq!(store.capacity(), 3);
+    }
+
+    #[test]
+    fn with_parts_rejects_mismatched_page_size() {
+        let backend = Box::new(crate::backend::MemBackend::new(64));
+        assert!(PageStore::with_parts(
+            StoreConfig::with_page_size(128),
+            backend,
+            None,
+            Arc::new(StoreStats::default()),
+            &[],
+        )
+        .is_err());
+    }
+
+    #[test]
     fn lock_excludes_lockers_but_not_readers() {
         let (store, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut s1 = reg.open();
         let mut s2 = reg.open();
         store.lock(pid, &mut s1);
@@ -443,7 +610,7 @@ mod tests {
     #[test]
     fn lock_blocks_until_released() {
         let (store, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut s1 = reg.open();
         store.lock(pid, &mut s1);
         let store2 = Arc::clone(&store);
@@ -463,7 +630,7 @@ mod tests {
     #[test]
     fn lock_timeout_expires() {
         let (store, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut s1 = reg.open();
         let mut s2 = reg.open();
         store.lock(pid, &mut s1);
@@ -477,7 +644,7 @@ mod tests {
     #[should_panic(expected = "not the owner")]
     fn unlock_by_non_owner_panics() {
         let (store, reg) = setup();
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut s1 = reg.open();
         let mut s2 = reg.open();
         store.lock(pid, &mut s1);
@@ -490,8 +657,8 @@ mod tests {
     #[test]
     fn unlock_all_releases_everything() {
         let (store, reg) = setup();
-        let a = store.alloc();
-        let b = store.alloc();
+        let a = store.alloc().unwrap();
+        let b = store.alloc().unwrap();
         let mut s = reg.open();
         store.lock(a, &mut s);
         store.lock(b, &mut s);
@@ -511,7 +678,7 @@ mod tests {
             io_delay: Some(Duration::from_micros(200)),
             cache_pages: 0,
         });
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let t0 = Instant::now();
         for _ in 0..10 {
             store.get(pid).unwrap();
@@ -524,7 +691,7 @@ mod tests {
         // Writers alternate between two full-page patterns; readers must
         // never observe a mixed page (get/put are indivisible).
         let store = PageStore::new(StoreConfig::with_page_size(256));
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut a = Page::zeroed(256);
         a.bytes_mut().fill(0xAA);
         let mut b = Page::zeroed(256);
@@ -574,7 +741,7 @@ mod cache_tests {
             io_delay: Some(Duration::from_micros(300)),
             cache_pages: 8,
         });
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         // First get: miss (pays delay); second get: promoted; third: hit.
         store.get(pid).unwrap();
         store.get(pid).unwrap();
@@ -603,7 +770,7 @@ mod cache_tests {
             io_delay: None,
             cache_pages: 4,
         });
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         let mut p = Page::zeroed(64);
         p.bytes_mut()[0] = 0xEE;
         store.put(pid, &p).unwrap();
@@ -621,16 +788,111 @@ mod cache_tests {
             io_delay: None,
             cache_pages: 4,
         });
-        let pid = store.alloc();
+        let pid = store.alloc().unwrap();
         store.get(pid).unwrap();
         store.get(pid).unwrap(); // resident now
         store.free(pid).unwrap();
-        let reused = store.alloc();
+        let reused = store.alloc().unwrap();
         assert_eq!(reused, pid);
         // First get after realloc is a miss again (was evicted on free).
         let before = store.stats().snapshot();
         store.get(reused).unwrap();
         let after = store.stats().snapshot();
         assert_eq!(after.cache_misses - before.cache_misses, 1);
+    }
+}
+
+#[cfg(test)]
+mod journal_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    /// Records calls; can be switched to failing to model a dead journal.
+    #[derive(Debug, Default)]
+    struct MockJournal {
+        allocs: AtomicU64,
+        frees: AtomicU64,
+        puts: AtomicU64,
+        fail: AtomicBool,
+    }
+
+    impl MockJournal {
+        fn check(&self) -> Result<()> {
+            if self.fail.load(Ordering::Relaxed) {
+                Err(StoreError::Io("journal dead".to_string()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl Journal for MockJournal {
+        fn log_alloc(&self, _pid: PageId) -> Result<()> {
+            self.check()?;
+            self.allocs.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn log_free(&self, _pid: PageId) -> Result<()> {
+            self.check()?;
+            self.frees.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn log_put(&self, _pid: PageId, _data: &[u8]) -> Result<()> {
+            self.check()?;
+            self.puts.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn sync(&self) -> Result<()> {
+            self.check()
+        }
+    }
+
+    fn journaled() -> (Arc<PageStore>, Arc<MockJournal>) {
+        let j = Arc::new(MockJournal::default());
+        let store = PageStore::with_parts(
+            StoreConfig::with_page_size(64),
+            Box::new(crate::backend::MemBackend::new(64)),
+            Some(Arc::clone(&j) as Arc<dyn Journal>),
+            Arc::new(StoreStats::default()),
+            &[],
+        )
+        .unwrap();
+        (store, j)
+    }
+
+    #[test]
+    fn mutations_are_logged_in_order() {
+        let (store, j) = journaled();
+        let a = store.alloc().unwrap();
+        let p = Page::zeroed(64);
+        store.put(a, &p).unwrap();
+        store.put(a, &p).unwrap();
+        store.free(a).unwrap();
+        assert_eq!(j.allocs.load(Ordering::Relaxed), 1);
+        assert_eq!(j.puts.load(Ordering::Relaxed), 2);
+        assert_eq!(j.frees.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().snapshot().wal_records, 4);
+    }
+
+    #[test]
+    fn journal_failure_aborts_mutations_without_state_change() {
+        let (store, j) = journaled();
+        let a = store.alloc().unwrap();
+        j.fail.store(true, Ordering::Relaxed);
+        // Put fails, page still readable with old (zero) contents.
+        let mut p = Page::zeroed(64);
+        p.bytes_mut()[0] = 9;
+        assert!(matches!(store.put(a, &p), Err(StoreError::Io(_))));
+        assert_eq!(store.get(a).unwrap().bytes()[0], 0);
+        // Free fails, page stays allocated.
+        assert!(matches!(store.free(a), Err(StoreError::Io(_))));
+        assert!(store.is_allocated(a));
+        // Alloc fails, nothing leaks: recovery sees the same capacity.
+        assert!(matches!(store.alloc(), Err(StoreError::Io(_))));
+        assert_eq!(store.live_pages(), 1);
+        // Un-fail: the freed slot is reusable again.
+        j.fail.store(false, Ordering::Relaxed);
+        store.free(a).unwrap();
+        assert_eq!(store.alloc().unwrap(), a);
     }
 }

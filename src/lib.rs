@@ -5,11 +5,13 @@
 //!
 //! * [`sagiv_blink`] — the paper's contribution (core library)
 //! * [`blink_pagestore`] — storage/locking substrate (§2.2 model)
+//! * [`blink_durable`] — WAL, file-backed pages, crash recovery
 //! * [`blink_baselines`] — Lehman–Yao and top-down baselines
 //! * [`blink_workload`] — workload generators
 //! * [`blink_harness`] — experiment harness and linearizability checker
 
 pub use blink_baselines as baselines;
+pub use blink_durable as durable;
 pub use blink_harness as harness;
 pub use blink_pagestore as pagestore;
 pub use blink_workload as workload;

@@ -1,0 +1,245 @@
+//! Minimal API-compatible subset of `parking_lot`, implemented over
+//! `std::sync`, for offline builds (the build environment has no crate
+//! registry). Poisoning is transparently swallowed — matching
+//! `parking_lot`'s behavior of not having poisoning at all.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Mutex
+// ----------------------------------------------------------------------
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so Condvar::wait can move the std guard out and back.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard invariant")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard invariant")
+    }
+}
+
+// ----------------------------------------------------------------------
+// Condvar
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard invariant");
+        guard.inner = Some(self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Waits until `deadline`. Returns a result whose `timed_out()` is true
+    /// when the deadline elapsed without a notification.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard invariant");
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let (g, res) = self
+            .0
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ----------------------------------------------------------------------
+// RwLock
+// ----------------------------------------------------------------------
+
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Arc::new(Mutex::new(0u32));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g = 7;
+            cv2.notify_one();
+        });
+        let mut g = m.lock();
+        while *g == 0 {
+            cv.wait(&mut g);
+        }
+        assert_eq!(*g, 7);
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+    }
+}

@@ -1,0 +1,447 @@
+//! Minimal API-compatible subset of `proptest` for offline builds.
+//!
+//! Supports the surface this workspace uses: the `proptest!` macro (with an
+//! optional `#![proptest_config(..)]` header), `any::<T>()`, integer-range
+//! strategies, 2/3-tuples, `prop_map`, `Just`, `prop_oneof!`,
+//! `collection::{vec, btree_set}` and the `prop_assert*` macros.
+//!
+//! Each test runs `cases` deterministic random cases (seeded from the test
+//! path, so failures reproduce). There is no shrinking: a failing case
+//! panics with the sampled inputs' debug representation via the normal
+//! assertion message.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ----------------------------------------------------------------------
+// Deterministic RNG (xoshiro256++; see the vendored `rand` shim).
+// ----------------------------------------------------------------------
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from a test identifier and case number, so every run of a
+    /// given test samples the same sequence of cases.
+    pub fn for_case(test_path: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = h;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+// ----------------------------------------------------------------------
+// Config
+// ----------------------------------------------------------------------
+
+/// The `cases` subset of proptest's configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Strategy
+// ----------------------------------------------------------------------
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integer ranges as strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize, i32, i64);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // Span may overflow u64 for e.g. 0..u64::MAX; go through u128.
+        let span = (self.end as u128) - (self.start as u128);
+        self.start + ((rng.next_u64() as u128 * span) >> 64) as u64
+    }
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> u16 {
+        rng.next_u64() as u16
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()`: uniform over the whole type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// A sampling closure: one arm of a [`Union`].
+pub type ArmFn<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Weighted union built by [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<(u32, ArmFn<V>)>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<(u32, ArmFn<V>)>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut roll = rng.below(total.max(1));
+        for (w, f) in &self.arms {
+            let w = u64::from(*w);
+            if roll < w {
+                return f(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::fmt;
+    use std::ops::Range;
+
+    /// Vector of `len ∈ range` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Set of exactly `size ∈ range` distinct elements (retries duplicates,
+    /// like upstream proptest; the element space must be large enough).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut tries = 0usize;
+            while set.len() < n && tries < n.saturating_mul(1000) + 1000 {
+                set.insert(self.element.sample(rng));
+                tries += 1;
+            }
+            set
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Macros
+// ----------------------------------------------------------------------
+
+/// The property-test entry point. Each listed function becomes a `#[test]`
+/// running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr)
+        $( $(#[$meta:meta])*
+           fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted choice between strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $( ( $weight as u32, {
+                let __s = $strat;
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::sample(&__s, rng)) as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            } ) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::prop_oneof!( $( 1 => $strat ),+ )
+    };
+}
+
+/// Assertion macros — plain assertions (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_stay_in_bounds() {
+        let mut rng = TestRng::for_case("shim::bounds", 0);
+        for _ in 0..1000 {
+            let v = (0u64..10).sample(&mut rng);
+            assert!(v < 10);
+            let w = (5usize..6).sample(&mut rng);
+            assert_eq!(w, 5);
+            let _: bool = any::<bool>().sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_requested_size() {
+        let mut rng = TestRng::for_case("shim::set", 1);
+        let s = collection::btree_set(0u64..1_000_000, 3..64);
+        for _ in 0..50 {
+            let set = s.sample(&mut rng);
+            assert!((3..64).contains(&set.len()), "got {}", set.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: samples bind, bodies run, asserts work.
+        #[test]
+        fn macro_end_to_end(xs in collection::vec(any::<u8>(), 0..10), flag in any::<bool>()) {
+            prop_assert!(xs.len() < 10);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            3 => (0u64..10).prop_map(|x| x * 2),
+            1 => Just(99u64),
+        ]) {
+            prop_assert!(v == 99u64 || (v < 20u64 && v % 2u64 == 0u64));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = TestRng::for_case("same::test", 7).next_u64();
+        let b = TestRng::for_case("same::test", 7).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, TestRng::for_case("same::test", 8).next_u64());
+    }
+}
