@@ -14,7 +14,7 @@
 //! Experiment E1 contrasts the per-process `max_simultaneous_locks` of this
 //! tree (3) with Sagiv's (1); E3 contrasts the space behaviour.
 
-use blink_pagestore::{LogicalClock, PageId, PageStore, Session, SessionRegistry};
+use blink_pagestore::{LogicalClock, PageId, PageStore, Session, SessionRegistry, WriteIntent};
 use sagiv_blink::key::Bound;
 use sagiv_blink::node::{Next, Node};
 use sagiv_blink::prime::PrimeBlock;
@@ -92,16 +92,19 @@ impl LehmanYaoTree {
     }
 
     fn read_node(&self, pid: PageId) -> Result<Node> {
-        Node::decode(&self.store.get(pid)?)
+        // Decodes straight from the page's pinned buffer-pool frame.
+        Node::decode(&self.store.read(pid)?)
     }
 
     fn write_node(&self, pid: PageId, node: &Node) -> Result<()> {
-        self.store.put(pid, &node.encode(self.store.page_size()))?;
+        let mut w = self.store.write_page(pid, WriteIntent::Overwrite)?;
+        node.encode_into(w.bytes_mut());
+        w.commit()?;
         Ok(())
     }
 
     fn read_prime(&self) -> Result<PrimeBlock> {
-        PrimeBlock::decode(&self.store.get(self.prime_pid)?)
+        PrimeBlock::decode(&self.store.read(self.prime_pid)?)
     }
 
     /// `movedown` (optionally stacking), lock-free. Lehman–Yao needs no
@@ -271,8 +274,11 @@ impl LehmanYaoTree {
 
         let mut prime = self.read_prime()?;
         prime.push_root(r);
-        self.store
-            .put(self.prime_pid, &prime.encode(self.store.page_size()))?;
+        let mut w = self
+            .store
+            .write_page(self.prime_pid, WriteIntent::Overwrite)?;
+        prime.encode_into(w.bytes_mut());
+        w.commit()?;
         self.store.unlock(pid, session);
         self.counters.splits.fetch_add(1, Ordering::Relaxed);
         self.counters.root_splits.fetch_add(1, Ordering::Relaxed);

@@ -20,7 +20,7 @@
 //! the top of the tree.
 
 use blink_pagestore::rwlock::RwLockTable;
-use blink_pagestore::{LogicalClock, PageId, PageStore, Session, SessionRegistry};
+use blink_pagestore::{LogicalClock, PageId, PageStore, Session, SessionRegistry, WriteIntent};
 use sagiv_blink::key::Bound;
 use sagiv_blink::node::{Node, NodeKind};
 use sagiv_blink::prime::PrimeBlock;
@@ -93,21 +93,27 @@ impl TopDownTree {
     }
 
     fn read_node(&self, pid: PageId) -> Result<Node> {
-        Node::decode(&self.store.get(pid)?)
+        // Decodes straight from the page's pinned buffer-pool frame.
+        Node::decode(&self.store.read(pid)?)
     }
 
     fn write_node(&self, pid: PageId, node: &Node) -> Result<()> {
-        self.store.put(pid, &node.encode(self.store.page_size()))?;
+        let mut w = self.store.write_page(pid, WriteIntent::Overwrite)?;
+        node.encode_into(w.bytes_mut());
+        w.commit()?;
         Ok(())
     }
 
     fn read_prime(&self) -> Result<PrimeBlock> {
-        PrimeBlock::decode(&self.store.get(self.prime_pid)?)
+        PrimeBlock::decode(&self.store.read(self.prime_pid)?)
     }
 
     fn write_prime(&self, prime: &PrimeBlock) -> Result<()> {
-        self.store
-            .put(self.prime_pid, &prime.encode(self.store.page_size()))?;
+        let mut w = self
+            .store
+            .write_page(self.prime_pid, WriteIntent::Overwrite)?;
+        prime.encode_into(w.bytes_mut());
+        w.commit()?;
         Ok(())
     }
 

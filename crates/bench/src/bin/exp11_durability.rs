@@ -65,6 +65,8 @@ fn main() {
         "wal records",
         "fsyncs",
         "records/fsync batch",
+        "pool hit rate",
+        "evict/wb/pins",
     ]);
     for policy in policies {
         let dir = tmpdir("tput");
@@ -109,6 +111,8 @@ fn main() {
             format!("{}", d.wal_records),
             format!("{}", d.wal_fsyncs),
             format!("{batch:.1}"),
+            format!("{:.1}%", d.hit_rate() * 100.0),
+            format!("{}/{}/{}", d.frames_evicted, d.dirty_writebacks, d.pins),
         ]);
         drop(tree);
         drop(store);
@@ -210,4 +214,8 @@ fn main() {
     println!("recovery includes WAL replay, prime validation, structural verify, and (after a");
     println!("crash) the Fig. 2 rebuild of every index level from the leaf chain plus GC of");
     println!("orphaned pages. 'records replayed' is bounded by the last checkpoint.");
+    println!();
+    println!("'pool hit rate' and 'evict/wb/pins' are the buffer-pool gauges: writes are");
+    println!("write-back (the WAL record is the commit point), so the page file only sees");
+    println!("dirty-frame write-backs ('wb') on eviction, sync and checkpoint.");
 }

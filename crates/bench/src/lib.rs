@@ -39,21 +39,22 @@ pub fn fresh_store() -> Arc<PageStore> {
     PageStore::new(StoreConfig::with_page_size(4096))
 }
 
-/// A fresh page store with a simulated per-access latency.
+/// A fresh page store with a simulated per-access latency and no buffer
+/// pool (every access is a backend access — the literal §2.2 model).
 pub fn fresh_store_io(delay: Duration) -> Arc<PageStore> {
     PageStore::new(StoreConfig {
         page_size: 4096,
         io_delay: Some(delay),
-        cache_pages: 0,
+        pool_frames: 0,
     })
 }
 
-/// Like [`fresh_store_io`], plus a CLOCK buffer cache of `pages` pages.
-pub fn fresh_store_io_cached(delay: Duration, pages: usize) -> Arc<PageStore> {
+/// Like [`fresh_store_io`], plus a buffer pool of `frames` pinned frames.
+pub fn fresh_store_io_cached(delay: Duration, frames: usize) -> Arc<PageStore> {
     PageStore::new(StoreConfig {
         page_size: 4096,
         io_delay: Some(delay),
-        cache_pages: pages,
+        pool_frames: frames,
     })
 }
 

@@ -345,14 +345,23 @@ impl Node {
 
     /// Serializes into a page of `page_size` bytes.
     pub fn encode(&self, page_size: usize) -> Page {
+        let mut page = Page::zeroed(page_size);
+        self.encode_into(page.bytes_mut());
+        page
+    }
+
+    /// Serializes directly into `b` (every byte of `b` is written) — used
+    /// by the zero-copy write path to encode straight into a buffer-pool
+    /// frame without an intermediate [`Page`].
+    pub fn encode_into(&self, b: &mut [u8]) {
+        let page_size = b.len();
         assert!(
             self.entries.len() <= max_pairs_for_page(page_size),
             "node with {} pairs does not fit a {}-byte page",
             self.entries.len(),
             page_size
         );
-        let mut page = Page::zeroed(page_size);
-        let b = page.bytes_mut();
+        b.fill(0);
         b[0..2].copy_from_slice(&MAGIC.to_le_bytes());
         let mut flags = 0u8;
         if self.kind == NodeKind::Leaf {
@@ -379,13 +388,12 @@ impl Node {
             b[off..off + 8].copy_from_slice(&key.to_le_bytes());
             b[off + 8..off + 16].copy_from_slice(&val.to_le_bytes());
         }
-        page
     }
 
-    /// Deserializes a page. Fails on structural corruption (bad magic, bad
-    /// tags, counts that exceed the page).
-    pub fn decode(page: &Page) -> Result<Node> {
-        let b = page.bytes();
+    /// Deserializes a page image (an owned [`Page`] or a borrowed page
+    /// guard — both deref to `[u8]`). Fails on structural corruption (bad
+    /// magic, bad tags, counts that exceed the page).
+    pub fn decode(b: &[u8]) -> Result<Node> {
         if b.len() < HEADER_LEN {
             return Err(TreeError::Corrupt("page shorter than node header"));
         }
@@ -977,8 +985,7 @@ mod fuzz {
         /// restart, not a crash.)
         #[test]
         fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-            let page = Page::from_bytes(bytes.into_boxed_slice());
-            let _ = Node::decode(&page);
+            let _ = Node::decode(&bytes);
         }
 
         /// Decoding a valid page with a few corrupted bytes never panics,

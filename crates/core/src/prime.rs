@@ -75,13 +75,20 @@ impl PrimeBlock {
 
     /// Serializes into a page.
     pub fn encode(&self, page_size: usize) -> Page {
+        let mut page = Page::zeroed(page_size);
+        self.encode_into(page.bytes_mut());
+        page
+    }
+
+    /// Serializes directly into `b`, writing every byte.
+    pub fn encode_into(&self, b: &mut [u8]) {
+        let page_size = b.len();
         assert!(
             self.leftmost.len() <= max_levels(page_size),
             "tree too tall for prime block"
         );
         assert_eq!(self.leftmost.len(), self.height as usize);
-        let mut page = Page::zeroed(page_size);
-        let b = page.bytes_mut();
+        b.fill(0);
         b[0..2].copy_from_slice(&MAGIC.to_le_bytes());
         b[4..8].copy_from_slice(&self.height.to_le_bytes());
         b[8..12].copy_from_slice(&self.root.to_raw().to_le_bytes());
@@ -89,12 +96,10 @@ impl PrimeBlock {
             let off = HDR + i * 4;
             b[off..off + 4].copy_from_slice(&pid.to_raw().to_le_bytes());
         }
-        page
     }
 
-    /// Deserializes a page.
-    pub fn decode(page: &Page) -> Result<PrimeBlock> {
-        let b = page.bytes();
+    /// Deserializes a page image (owned page or borrowed guard).
+    pub fn decode(b: &[u8]) -> Result<PrimeBlock> {
         if b.len() < HDR {
             return Err(TreeError::Corrupt("page shorter than prime header"));
         }
@@ -184,8 +189,7 @@ mod fuzz {
     proptest! {
         #[test]
         fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-            let page = Page::from_bytes(bytes.into_boxed_slice());
-            let _ = PrimeBlock::decode(&page);
+            let _ = PrimeBlock::decode(&bytes);
         }
     }
 }

@@ -14,6 +14,13 @@
 //!
 //! Restarts are counted on the session and bounded by
 //! `TreeConfig::max_restarts`.
+//!
+//! Every node a traversal examines comes through `try_read_node`, which
+//! since PR 2 decodes from a pinned buffer-pool frame guard rather than an
+//! owned page copy: the §2.2 "private snapshot" a process reasons over is
+//! the decoded [`Node`], and the guard (plus its pin) is gone before the
+//! traversal takes another step — so holding no locks also means holding
+//! no pins across waits.
 
 use crate::error::{Result, TreeError};
 use crate::key::{Bound, Key};

@@ -14,6 +14,7 @@ use crate::node::Node;
 use crate::prime::PrimeBlock;
 use blink_pagestore::{
     DeferredFreeList, LogicalClock, PageId, PageStore, Session, SessionRegistry, StoreError,
+    WriteIntent,
 };
 use std::sync::Arc;
 
@@ -83,8 +84,8 @@ impl BLinkTree {
         prime_pid: PageId,
     ) -> Result<Arc<BLinkTree>> {
         cfg.validate(store.page_size())?;
-        let prime = PrimeBlock::decode(&store.get(prime_pid)?)?;
-        let root = Node::decode(&store.get(prime.root)?)?;
+        let prime = PrimeBlock::decode(&store.read(prime_pid)?)?;
+        let root = Node::decode(&store.read(prime.root)?)?;
         if !root.is_root || root.deleted {
             return Err(TreeError::Corrupt("prime block points to a non-root node"));
         }
@@ -190,16 +191,20 @@ impl BLinkTree {
     /// protocols this is used only when the page is guaranteed live (e.g. a
     /// child whose parent is locked); it is public for tools, figures and
     /// tests that inspect quiesced trees.
+    ///
+    /// The page bytes are borrowed straight from the store's buffer-pool
+    /// frame (no page copy on a hit); the decoded [`Node`] is this process's
+    /// §2.2 private snapshot, so the guard is released before returning.
     pub fn read_node(&self, pid: PageId) -> Result<Node> {
-        Node::decode(&self.store.get(pid)?)
+        Node::decode(&self.store.read(pid)?)
     }
 
     /// Reads a node defensively: `Ok(None)` when the page was freed,
     /// reallocated to something undecodable, or out of bounds — all of
     /// which traversals answer with a restart (§5.2).
     pub(crate) fn try_read_node(&self, pid: PageId) -> Result<Option<Node>> {
-        match self.store.get(pid) {
-            Ok(page) => match Node::decode(&page) {
+        match self.store.read(pid) {
+            Ok(guard) => match Node::decode(&guard) {
                 Ok(n) => Ok(Some(n)),
                 Err(TreeError::Corrupt(_)) => Ok(None),
                 Err(e) => Err(e),
@@ -209,23 +214,29 @@ impl BLinkTree {
         }
     }
 
-    /// Encodes and writes a node (one indivisible `put`).
+    /// Encodes and writes a node (one indivisible, journaled `put`),
+    /// serializing directly into the page's frame.
     pub(crate) fn write_node(&self, pid: PageId, node: &Node) -> Result<()> {
-        self.store.put(pid, &node.encode(self.store.page_size()))?;
+        let mut w = self.store.write_page(pid, WriteIntent::Overwrite)?;
+        node.encode_into(w.bytes_mut());
+        w.commit()?;
         Ok(())
     }
 
     /// Reads the prime block.
     pub(crate) fn read_prime(&self) -> Result<PrimeBlock> {
-        PrimeBlock::decode(&self.store.get(self.prime_pid)?)
+        PrimeBlock::decode(&self.store.read(self.prime_pid)?)
     }
 
     /// Rewrites the prime block. Callers must hold the lock on the current
     /// root (§3.3: "a process rewrites it only when it has a lock on the
     /// root"), which is what makes the lockless write race-free.
     pub(crate) fn write_prime(&self, prime: &PrimeBlock) -> Result<()> {
-        self.store
-            .put(self.prime_pid, &prime.encode(self.store.page_size()))?;
+        let mut w = self
+            .store
+            .write_page(self.prime_pid, WriteIntent::Overwrite)?;
+        prime.encode_into(w.bytes_mut());
+        w.commit()?;
         Ok(())
     }
 }

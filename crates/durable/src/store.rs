@@ -57,9 +57,11 @@ pub struct DurableConfig {
     pub fsync: FsyncPolicy,
     /// WAL segment size before rotation.
     pub segment_bytes: u64,
-    /// Buffer-pool pages for the in-memory CLOCK cache (residency tracking
-    /// only; reads always hit the page file).
-    pub cache_pages: usize,
+    /// Buffer-pool frames over the page file. Reads hit pinned frames
+    /// (zero-copy); writes are write-back — the WAL record is the commit
+    /// point, and dirty frames reach `pages.db` on eviction, `sync` or
+    /// checkpoint.
+    pub pool_frames: usize,
 }
 
 impl DurableConfig {
@@ -70,7 +72,7 @@ impl DurableConfig {
             page_size: 4096,
             fsync: FsyncPolicy::Always,
             segment_bytes: 8 << 20,
-            cache_pages: 0,
+            pool_frames: 1024,
         }
     }
 
@@ -87,7 +89,7 @@ impl DurableConfig {
         StoreConfig {
             page_size: self.page_size,
             io_delay: None,
-            cache_pages: self.cache_pages,
+            pool_frames: self.pool_frames,
         }
     }
 

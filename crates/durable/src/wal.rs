@@ -21,7 +21,7 @@
 //!
 //! ## Commit
 //!
-//! [`Wal::append`] makes a record *logged*; [`Wal::commit`] makes it
+//! `append` makes a record *logged*; `commit` makes it
 //! *durable* according to the [`FsyncPolicy`]:
 //!
 //! * [`Always`](FsyncPolicy::Always) — fsync before returning (safest,

@@ -17,6 +17,8 @@ pub enum StoreError {
     RecordMissing(u64),
     /// A record is too large to fit in a single heap page.
     RecordTooLarge { len: usize, max: usize },
+    /// A page buffer's length disagrees with the store's page size.
+    PageSizeMismatch { got: usize, want: usize },
     /// Invalid configuration (e.g. page size too small for the node format).
     Config(&'static str),
     /// An I/O failure from a durable backend or write-ahead log — including
@@ -37,6 +39,9 @@ impl fmt::Display for StoreError {
                     f,
                     "record of {len} bytes exceeds the per-page maximum of {max}"
                 )
+            }
+            StoreError::PageSizeMismatch { got, want } => {
+                write!(f, "page buffer of {got} bytes, store page size is {want}")
             }
             StoreError::Config(what) => write!(f, "invalid configuration: {what}"),
             StoreError::Io(what) => write!(f, "i/o error: {what}"),

@@ -23,7 +23,7 @@
 
 use crate::error::{Result, StoreError};
 use crate::page::{Page, PageId};
-use crate::store::PageStore;
+use crate::store::{PageStore, WriteIntent};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -122,8 +122,10 @@ impl RecordHeap {
                     pid
                 }
             };
-            let mut page = self.store.get(pid)?;
-            let b = page.bytes_mut();
+            // In-place read-modify-write through the page's frame; dropping
+            // the guard without committing (page full) changes nothing.
+            let mut w = self.store.write_page(pid, WriteIntent::Update)?;
+            let b = w.bytes_mut();
             let live = read_u16(b, 0);
             let nslots = read_u16(b, 2);
             let free_off = read_u16(b, 4) as usize;
@@ -136,7 +138,7 @@ impl RecordHeap {
                 write_u16(b, 0, live + 1);
                 write_u16(b, 2, nslots + 1);
                 write_u16(b, 4, (free_off + data.len()) as u16);
-                self.store.put(pid, &page)?;
+                w.commit()?;
                 return Ok(RecordId::new(pid, nslots));
             }
             // Page full: start a fresh one and retry.
@@ -144,9 +146,11 @@ impl RecordHeap {
         }
     }
 
-    /// Reads a record. Latch-only — never blocked by writers of other pages.
+    /// Reads a record. Latch-only — never blocked by writers of other
+    /// pages, and copy-free up to the record bytes themselves (the page is
+    /// borrowed from its buffer-pool frame).
     pub fn read(&self, rid: RecordId) -> Result<Vec<u8>> {
-        let page = self.store.get(rid.page()).map_err(|e| match e {
+        let page = self.store.read(rid.page()).map_err(|e| match e {
             StoreError::PageFreed(_) | StoreError::OutOfBounds(_) => {
                 StoreError::RecordMissing(rid.to_raw())
             }
@@ -174,13 +178,16 @@ impl RecordHeap {
     pub fn free(&self, rid: RecordId) -> Result<()> {
         let open = self.write_lock.lock();
         let pid = rid.page();
-        let mut page = self.store.get(pid).map_err(|e| match e {
-            StoreError::PageFreed(_) | StoreError::OutOfBounds(_) => {
-                StoreError::RecordMissing(rid.to_raw())
-            }
-            other => other,
-        })?;
-        let b = page.bytes_mut();
+        let mut w = self
+            .store
+            .write_page(pid, WriteIntent::Update)
+            .map_err(|e| match e {
+                StoreError::PageFreed(_) | StoreError::OutOfBounds(_) => {
+                    StoreError::RecordMissing(rid.to_raw())
+                }
+                other => other,
+            })?;
+        let b = w.bytes_mut();
         let nslots = read_u16(b, 2);
         if rid.slot() >= nslots {
             return Err(StoreError::RecordMissing(rid.to_raw()));
@@ -190,14 +197,17 @@ impl RecordHeap {
         if read_u16(b, slot_off) == FREED {
             return Err(StoreError::RecordMissing(rid.to_raw()));
         }
-        write_u16(b, slot_off, FREED);
         let live = read_u16(b, 0) - 1;
-        write_u16(b, 0, live);
         if live == 0 && open.current != Some(pid) {
+            // Whole page dead: abandon the in-place edit (the guard rolls
+            // back untouched) and release the page itself.
+            drop(w);
             self.store.free(pid)?;
-        } else {
-            self.store.put(pid, &page)?;
+            return Ok(());
         }
+        write_u16(b, slot_off, FREED);
+        write_u16(b, 0, live);
+        w.commit()?;
         Ok(())
     }
 }

@@ -22,18 +22,22 @@
 //!   released only when every process that could still read it has finished.
 //! * [`heap::RecordHeap`] stores the records that leaf pairs `(v, p)` point
 //!   to, making the tree a *dense index* exactly as §2.1 describes.
+//! * [`pool`] is the buffer pool: a fixed table of page frames with pin
+//!   counts and CLOCK replacement. [`PageStore::read`] pins a frame and
+//!   returns a zero-copy [`PageRef`] guard; writes go through the frame
+//!   (write-back) and reach the backend on eviction or [`PageStore::sync`].
 //! * [`rwlock`] provides shared/exclusive page locks. The Sagiv and
 //!   Lehman–Yao protocols never need them; they exist for the top-down
 //!   (Bayer–Schkolnick-style) baseline the paper's introduction compares
 //!   against.
 
 pub mod backend;
-pub mod cache;
 pub mod clock;
 pub mod error;
 pub mod heap;
 pub mod journal;
 pub mod page;
+pub mod pool;
 pub mod reclaim;
 pub mod rwlock;
 pub mod session;
@@ -41,7 +45,6 @@ pub mod stats;
 pub mod store;
 
 pub use backend::{MemBackend, PageBackend};
-pub use cache::ClockCache;
 pub use clock::LogicalClock;
 pub use error::{Result, StoreError};
 pub use heap::{RecordHeap, RecordId};
@@ -50,4 +53,4 @@ pub use page::{Page, PageId};
 pub use reclaim::DeferredFreeList;
 pub use session::{Session, SessionRegistry, SessionStats};
 pub use stats::StoreStats;
-pub use store::{PageStore, StoreConfig};
+pub use store::{PageRef, PageStore, PageWrite, StoreConfig, WriteIntent};

@@ -32,10 +32,22 @@ pub struct StoreStats {
     pub rw_contended: AtomicU64,
     /// Total nanoseconds spent waiting for rw locks.
     pub rw_wait_ns: AtomicU64,
-    /// Buffer-cache hits (reads that skipped the simulated I/O).
+    /// Buffer-pool read hits: `read`/`get` served from a resident frame
+    /// (no backend access, no page copy). Writes are not counted here, so
+    /// `cache_hits + cache_misses == gets` and `hit_rate` is the read hit
+    /// rate.
     pub cache_hits: AtomicU64,
-    /// Buffer-cache misses.
+    /// Buffer-pool read misses: reads that had to load from (or, when
+    /// every frame was pinned, bypass to) the backend.
     pub cache_misses: AtomicU64,
+    /// Frames whose resident page was displaced by CLOCK replacement.
+    pub frames_evicted: AtomicU64,
+    /// Dirty frames written back to the backend (on eviction or flush).
+    pub dirty_writebacks: AtomicU64,
+    /// Frame pins taken (each read/write guard pins its frame once).
+    pub pins: AtomicU64,
+    /// Accesses that bypassed the pool because every frame was pinned.
+    pub pool_bypasses: AtomicU64,
     /// WAL records appended (journaled stores only).
     pub wal_records: AtomicU64,
     /// WAL fsync (sync_data) calls.
@@ -65,6 +77,10 @@ pub struct StatsSnapshot {
     pub rw_wait_ns: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    pub frames_evicted: u64,
+    pub dirty_writebacks: u64,
+    pub pins: u64,
+    pub pool_bypasses: u64,
     pub wal_records: u64,
     pub wal_fsyncs: u64,
     pub wal_group_commits: u64,
@@ -100,6 +116,10 @@ impl StoreStats {
             rw_wait_ns: self.rw_wait_ns.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            frames_evicted: self.frames_evicted.load(Ordering::Relaxed),
+            dirty_writebacks: self.dirty_writebacks.load(Ordering::Relaxed),
+            pins: self.pins.load(Ordering::Relaxed),
+            pool_bypasses: self.pool_bypasses.load(Ordering::Relaxed),
             wal_records: self.wal_records.load(Ordering::Relaxed),
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             wal_group_commits: self.wal_group_commits.load(Ordering::Relaxed),
@@ -126,6 +146,10 @@ impl StatsSnapshot {
             rw_wait_ns: self.rw_wait_ns - earlier.rw_wait_ns,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            frames_evicted: self.frames_evicted - earlier.frames_evicted,
+            dirty_writebacks: self.dirty_writebacks - earlier.dirty_writebacks,
+            pins: self.pins - earlier.pins,
+            pool_bypasses: self.pool_bypasses - earlier.pool_bypasses,
             wal_records: self.wal_records - earlier.wal_records,
             wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
             wal_group_commits: self.wal_group_commits - earlier.wal_group_commits,
@@ -138,6 +162,16 @@ impl StatsSnapshot {
     /// Live pages = allocations minus frees.
     pub fn live_pages(&self) -> u64 {
         self.allocs.saturating_sub(self.frees)
+    }
+
+    /// Buffer-pool read hit rate over this snapshot (0.0 when no reads).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 
