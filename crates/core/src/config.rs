@@ -2,6 +2,8 @@
 
 use crate::error::{Result, TreeError};
 use crate::node;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
 
 /// What a deletion does when it leaves a leaf with fewer than `k` pairs.
 ///
@@ -51,6 +53,13 @@ pub struct TreeConfig {
     /// case 1, after \[4\]). With `false`, readers of deleted nodes must
     /// restart from the root.
     pub merge_pointers: bool,
+    /// Live page count of a co-resident structure sharing the tree's store
+    /// (the `Db` facade keeps the record heap in the same store/WAL as the
+    /// index; the heap maintains this counter). The verifier's page
+    /// accounting adds it, so "every live page is a reachable node" still
+    /// holds for the tree's own pages. `None` when the tree owns its store
+    /// exclusively.
+    pub external_pages: Option<Arc<AtomicUsize>>,
 }
 
 impl Default for TreeConfig {
@@ -62,6 +71,7 @@ impl Default for TreeConfig {
             wait_retries: 1000,
             gainer_first_writes: true,
             merge_pointers: true,
+            external_pages: None,
         }
     }
 }

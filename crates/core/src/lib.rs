@@ -60,6 +60,7 @@ pub mod node;
 pub mod ops;
 pub mod prime;
 pub mod recovery;
+pub mod scan;
 pub mod traverse;
 pub mod tree;
 pub mod verify;
@@ -75,5 +76,6 @@ pub use error::{Result, TreeError};
 pub use key::{Bound, Key};
 pub use node::{Node, NodeKind};
 pub use recovery::RecoveryStats;
+pub use scan::{Scan, ScanIter};
 pub use tree::{BLinkTree, InsertOutcome};
 pub use verify::VerifyReport;

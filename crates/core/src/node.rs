@@ -259,6 +259,16 @@ impl Node {
         }
     }
 
+    /// Replaces the value stored under `v`; returns the old value, or
+    /// `None` (leaf unchanged) when `v` is absent.
+    pub fn leaf_set(&mut self, v: Key, val: u64) -> Option<u64> {
+        debug_assert_eq!(self.kind, NodeKind::Leaf);
+        match self.entries.binary_search_by_key(&v, |&(key, _)| key) {
+            Ok(pos) => Some(std::mem::replace(&mut self.entries[pos].1, val)),
+            Err(_) => None,
+        }
+    }
+
     /// Removes `v`; returns its value if it was present.
     pub fn leaf_remove(&mut self, v: Key) -> Option<u64> {
         debug_assert_eq!(self.kind, NodeKind::Leaf);

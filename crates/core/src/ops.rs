@@ -26,6 +26,16 @@ impl BLinkTree {
         r
     }
 
+    /// [`BLinkTree::search`] without the op bracketing: runs inside the
+    /// caller's already-open logical operation, leaving the session's §5.3
+    /// start stamp untouched. For cursors that interleave point lookups
+    /// with an in-flight scan (the `Db` facade's record re-resolution) —
+    /// a plain `search` would end the operation and lapse the reclamation
+    /// horizon protecting the rest of the scan.
+    pub fn search_in_op(&self, session: &mut Session, v: Key) -> Result<Option<u64>> {
+        self.search_inner(session, v)
+    }
+
     fn search_inner(&self, session: &mut Session, v: Key) -> Result<Option<u64>> {
         let mut budget = Budget::new(self.cfg.max_restarts);
         let mut d = self.descend(session, v, 0, false, &mut budget)?;
@@ -61,7 +71,25 @@ impl BLinkTree {
     /// argument rests on this; tests assert it via session stats).
     pub fn insert(&self, session: &mut Session, v: Key, value: u64) -> Result<InsertOutcome> {
         session.begin_op();
-        let r = self.insert_inner(session, v, value);
+        let r = self.insert_impl(session, v, value, false);
+        if r.is_err() {
+            self.store.unlock_all(session);
+        }
+        session.end_op();
+        Ok(match r? {
+            Some(_) => InsertOutcome::Duplicate,
+            None => InsertOutcome::Inserted,
+        })
+    }
+
+    /// Inserts `(v, value)`, **replacing** the value if `v` is already
+    /// present (the §3.2 duplicate report becomes an in-place value swap in
+    /// the covering leaf, under the same single lock). Returns the old
+    /// value when one existed. This is the write primitive behind the `Db`
+    /// facade's `put`.
+    pub fn upsert(&self, session: &mut Session, v: Key, value: u64) -> Result<Option<u64>> {
+        session.begin_op();
+        let r = self.insert_impl(session, v, value, true);
         if r.is_err() {
             self.store.unlock_all(session);
         }
@@ -69,7 +97,16 @@ impl BLinkTree {
         r
     }
 
-    fn insert_inner(&self, session: &mut Session, v: Key, value: u64) -> Result<InsertOutcome> {
+    /// Shared insert/upsert machinery. Returns `Some(old)` when `v` was
+    /// already present (value replaced iff `replace`), `None` when the pair
+    /// was freshly inserted.
+    fn insert_impl(
+        &self,
+        session: &mut Session,
+        v: Key,
+        value: u64,
+        replace: bool,
+    ) -> Result<Option<u64>> {
         let mut budget = Budget::new(self.cfg.max_restarts);
         // movedown-and-stack.
         let d = self.descend(session, v, 0, true, &mut budget)?;
@@ -87,10 +124,17 @@ impl BLinkTree {
             let (pid, mut node) =
                 self.lock_covering(session, pair_key, hint, level, &mut budget)?;
             if level == 0 {
-                if node.leaf_get(pair_key).is_some() {
-                    // "v is already in the tree" — release and stop.
+                if let Some(old) = node.leaf_get(pair_key) {
+                    // "v is already in the tree" — either report it (§3.2's
+                    // insert) or swap the value in place (upsert). Neither
+                    // changes the leaf's pair count, so no split can follow.
+                    if replace {
+                        let replaced = node.leaf_set(pair_key, pair_val);
+                        debug_assert_eq!(replaced, Some(old));
+                        self.write_node(pid, &node)?;
+                    }
                     self.store.unlock(pid, session);
-                    return Ok(InsertOutcome::Duplicate);
+                    return Ok(Some(old));
                 }
                 let inserted = node.leaf_insert(pair_key, pair_val);
                 debug_assert!(inserted);
@@ -105,13 +149,13 @@ impl BLinkTree {
                 // insert-into-safe: rewrite in a single indivisible put.
                 self.write_node(pid, &node)?;
                 self.store.unlock(pid, session);
-                return Ok(InsertOutcome::Inserted);
+                return Ok(None);
             }
 
             if node.is_root {
                 // insert-into-unsafe-root.
                 self.split_root(session, pid, node)?;
-                return Ok(InsertOutcome::Inserted);
+                return Ok(None);
             }
 
             // insert-into-unsafe: split, writing the new node B before
@@ -236,81 +280,25 @@ impl BLinkTree {
     // range scans (an API the link structure makes natural)
     // ==================================================================
 
-    /// Collects all pairs with keys in `[lo, hi]`, in key order, by walking
-    /// leaf links. Lock-free and restart-safe: a compression merge observed
-    /// mid-scan causes a re-descent at the scan cursor, and the cursor
-    /// filter makes re-reads idempotent.
+    /// Collects all pairs with keys in `[lo, hi]`, in key order.
+    ///
+    /// Compatibility wrapper over the streaming [`crate::scan::Scan`]
+    /// cursor (see [`BLinkTree::scan`]): same lock-free, restart-safe
+    /// link-walk, but materialized into a `Vec`. Prefer `scan` for large
+    /// ranges.
     pub fn range(&self, session: &mut Session, lo: Key, hi: Key) -> Result<Vec<(Key, u64)>> {
-        session.begin_op();
-        let r = self.range_inner(session, lo, hi);
-        session.end_op();
-        r
+        self.scan(session, lo, hi).collect()
     }
 
-    fn range_inner(&self, session: &mut Session, lo: Key, hi: Key) -> Result<Vec<(Key, u64)>> {
-        let mut out = Vec::new();
-        if lo > hi {
-            return Ok(out);
-        }
-        let mut budget = Budget::new(self.cfg.max_restarts);
-        let mut cursor = lo; // smallest key not yet covered
-        'outer: loop {
-            let mut d = self.descend(session, cursor, 0, false, &mut budget)?;
-            loop {
-                match d.node.next(cursor) {
-                    Next::Here => {}
-                    Next::Link(l) => {
-                        session.note_link_follow();
-                        let mut cur = l;
-                        match self.step_node(session, &mut cur, 0)? {
-                            Some(n) if !n.wrong_node(cursor) => {
-                                d.pid = cur;
-                                d.node = n;
-                                continue;
-                            }
-                            _ => {
-                                budget.restart(session)?;
-                                continue 'outer;
-                            }
-                        }
-                    }
-                    Next::Child(_) => unreachable!("level-0 node routed to a child"),
-                }
-                // d.node covers `cursor`: harvest.
-                for &(k, val) in &d.node.entries {
-                    if k >= cursor && k <= hi {
-                        out.push((k, val));
-                    }
-                }
-                if d.node.high >= Bound::Key(hi) {
-                    return Ok(out);
-                }
-                // Advance past this node. high < Key(hi) ≤ Key(u64::MAX),
-                // so the +1 cannot overflow.
-                cursor = d.node.high.expect_key("finite high below hi") + 1;
-                let Some(l) = d.node.link else {
-                    return Ok(out); // rightmost (can only happen under churn)
-                };
-                session.note_link_follow();
-                let mut cur = l;
-                match self.step_node(session, &mut cur, 0)? {
-                    Some(n) if !n.wrong_node(cursor) => {
-                        d.pid = cur;
-                        d.node = n;
-                    }
-                    _ => {
-                        budget.restart(session)?;
-                        continue 'outer;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Number of pairs currently in the tree (full scan; for tests and
-    /// examples, not performance-critical paths).
+    /// Number of pairs currently in the tree (streaming full scan; for
+    /// tests and examples, not performance-critical paths).
     pub fn count(&self, session: &mut Session) -> Result<usize> {
-        Ok(self.range(session, 0, u64::MAX)?.len())
+        let mut n = 0usize;
+        for pair in self.scan(session, 0, u64::MAX) {
+            pair?;
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// A snapshot of the prime block (for tools and verification).
@@ -389,6 +377,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn upsert_replaces_in_place_and_inserts_when_absent() {
+        let t = tree(2);
+        let mut s = t.session();
+        for i in 0..300u64 {
+            assert_eq!(t.upsert(&mut s, i, i).unwrap(), None, "fresh insert");
+        }
+        for i in 0..300u64 {
+            assert_eq!(t.upsert(&mut s, i, i * 10).unwrap(), Some(i), "replace");
+            assert_eq!(t.search(&mut s, i).unwrap(), Some(i * 10));
+        }
+        // A replace changes no structure: pair count is unchanged.
+        assert_eq!(t.count(&mut s).unwrap(), 300);
+        t.verify(false).unwrap().assert_ok();
+        // And holds at most one lock, like insert.
+        assert_eq!(s.stats().max_simultaneous_locks, 1);
     }
 
     #[test]

@@ -79,6 +79,19 @@ impl BLinkTree {
         cfg: TreeConfig,
         prime_pid: PageId,
     ) -> Result<(Arc<BLinkTree>, RecoveryStats)> {
+        BLinkTree::open_or_recover_protected(store, cfg, prime_pid, &HashSet::new())
+    }
+
+    /// [`BLinkTree::open_or_recover`] for a store the tree shares with a
+    /// co-resident structure: pages in `protected` (e.g. the record heap's
+    /// pages, enumerated by their magic) are exempt from the repair's
+    /// orphan collection — they are someone else's data, not tree garbage.
+    pub fn open_or_recover_protected(
+        store: Arc<PageStore>,
+        cfg: TreeConfig,
+        prime_pid: PageId,
+        protected: &HashSet<PageId>,
+    ) -> Result<(Arc<BLinkTree>, RecoveryStats)> {
         if let Ok(tree) = BLinkTree::open(Arc::clone(&store), cfg.clone(), prime_pid) {
             if let Ok(report) = tree.verify(false) {
                 if report.is_ok() {
@@ -93,7 +106,7 @@ impl BLinkTree {
             }
         }
         let tree = BLinkTree::open_unchecked(store, cfg, prime_pid)?;
-        let stats = tree.repair()?;
+        let stats = tree.repair(protected)?;
         let report = tree.verify(false)?;
         if !report.is_ok() {
             return Err(TreeError::Corrupt(
@@ -105,7 +118,7 @@ impl BLinkTree {
     }
 
     /// One full repair pass (see module docs). Assumes exclusive access.
-    fn repair(&self) -> Result<RecoveryStats> {
+    fn repair(&self, protected: &HashSet<PageId>) -> Result<RecoveryStats> {
         let mut st = RecoveryStats {
             repaired: true,
             ..RecoveryStats::default()
@@ -118,7 +131,7 @@ impl BLinkTree {
         let mut chain = self.collect_leaf_chain(first_leaf)?;
         self.normalize_leaf_chain(&mut chain, &mut st)?;
         let index_pids = self.rebuild_index_levels(&chain, first_leaf, &mut st)?;
-        self.collect_garbage(&chain, &index_pids, &mut st)?;
+        self.collect_garbage(&chain, &index_pids, protected, &mut st)?;
 
         st.leaves = chain.len();
         st.height = self.read_prime()?.height;
@@ -346,18 +359,21 @@ impl BLinkTree {
     }
 
     /// Frees every allocated page that is not the prime block, a chain
-    /// leaf, or a rebuilt index node.
+    /// leaf, a rebuilt index node, or protected (owned by a co-resident
+    /// structure such as the record heap).
     fn collect_garbage(
         &self,
         chain: &[(PageId, Node, bool)],
         index_pids: &[PageId],
+        protected: &HashSet<PageId>,
         st: &mut RecoveryStats,
     ) -> Result<()> {
         let mut reachable: HashSet<PageId> =
-            HashSet::with_capacity(chain.len() + index_pids.len() + 1);
+            HashSet::with_capacity(chain.len() + index_pids.len() + protected.len() + 1);
         reachable.insert(self.prime_pid);
         reachable.extend(chain.iter().map(|(pid, _, _)| *pid));
         reachable.extend(index_pids.iter().copied());
+        reachable.extend(protected.iter().copied());
         for pid in self.store.allocated_pages() {
             if !reachable.contains(&pid) {
                 self.store.free(pid)?;

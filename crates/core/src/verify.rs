@@ -187,13 +187,20 @@ impl BLinkTree {
         }
 
         // Page accounting: live store pages = reachable nodes + prime +
-        // deleted-but-unreclaimed pages.
-        let expected = rep.node_count + 1 + self.freelist.pending_count();
+        // deleted-but-unreclaimed pages + pages owned by a co-resident
+        // structure (the record heap, when index and heap share the store).
+        let external = self
+            .cfg
+            .external_pages
+            .as_ref()
+            .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            .unwrap_or(0);
+        let expected = rep.node_count + 1 + self.freelist.pending_count() + external;
         let live = self.store.live_pages();
         if live != expected {
             rep.errors.push(format!(
                 "page accounting: {live} live pages, expected {expected} \
-                 ({} nodes + prime + {} pending reclaim)",
+                 ({} nodes + prime + {} pending reclaim + {external} external)",
                 rep.node_count,
                 self.freelist.pending_count()
             ));

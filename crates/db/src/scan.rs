@@ -1,0 +1,96 @@
+//! Streaming KV scans: the core index cursor joined with record fetches.
+
+use crate::db::Db;
+use blink_pagestore::{RecordId, Session, StoreError};
+use sagiv_blink::scan::Scan;
+use sagiv_blink::{Result, TreeError};
+
+/// A streaming `(key, value)` cursor over an inclusive key range, from
+/// [`crate::DbSession::scan`].
+///
+/// Wraps the index's lazy [`Scan`] cursor (one leaf buffered at a time,
+/// re-latched per leaf, overtaking-safe via the link-chase protocol) and
+/// resolves each `RecordId` against the heap as it streams. A record freed
+/// mid-scan by a concurrent overwrite or delete is re-resolved through the
+/// index: replaced values are fetched fresh, deleted keys are skipped —
+/// the scan is weakly consistent, like every lock-free B-link scan.
+#[derive(Debug)]
+pub struct DbScan<'a, 'db> {
+    db: &'db Db,
+    session: &'a mut Session,
+    cursor: Scan,
+    poisoned: bool,
+}
+
+impl<'a, 'db> DbScan<'a, 'db> {
+    pub(crate) fn new(db: &'db Db, session: &'a mut Session, lo: u64, hi: u64) -> DbScan<'a, 'db> {
+        session.begin_op();
+        DbScan {
+            cursor: db.tree.scan_cursor(lo, hi),
+            db,
+            session,
+            poisoned: false,
+        }
+    }
+
+    /// Resolves one index entry to its value, retrying through the index
+    /// (bounded, like `DbSession::get`) when the record was freed under
+    /// the scan.
+    fn resolve(&mut self, key: u64, raw: u64) -> Result<Option<Vec<u8>>> {
+        let mut raw = raw;
+        for _ in 0..crate::db::READ_RETRIES {
+            let rid = RecordId::from_raw(raw)
+                .ok_or(TreeError::Corrupt("index holds an invalid record id"))?;
+            match self.db.heap.read_with(rid, |b| b.to_vec()) {
+                Ok(v) => return Ok(Some(v)),
+                Err(StoreError::RecordMissing(_)) => {
+                    // Concurrent overwrite/delete: ask the index afresh —
+                    // inside the scan's own logical operation, so the §5.3
+                    // reclamation horizon covering the cursor's next hop
+                    // never lapses.
+                    match self.db.tree.search_in_op(self.session, key)? {
+                        Some(next_raw) if next_raw != raw => raw = next_raw,
+                        _ => return Ok(None), // deleted (or unchanged-missing)
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(TreeError::TooManyRestarts {
+            attempts: crate::db::READ_RETRIES,
+        })
+    }
+}
+
+impl Iterator for DbScan<'_, '_> {
+    type Item = Result<(u64, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned {
+            return None;
+        }
+        loop {
+            match self.cursor.next(&self.db.tree, self.session) {
+                Ok(Some((key, raw))) => match self.resolve(key, raw) {
+                    Ok(Some(value)) => return Some(Ok((key, value))),
+                    Ok(None) => continue, // key raced a delete: skip
+                    Err(e) => {
+                        self.poisoned = true;
+                        return Some(Err(e));
+                    }
+                },
+                Ok(None) => return None,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for DbScan<'_, '_> {
+    fn drop(&mut self) {
+        self.session.end_op();
+    }
+}

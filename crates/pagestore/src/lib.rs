@@ -47,7 +47,7 @@ pub mod store;
 pub use backend::{MemBackend, PageBackend};
 pub use clock::LogicalClock;
 pub use error::{Result, StoreError};
-pub use heap::{RecordHeap, RecordId};
+pub use heap::{is_heap_page, HeapInventory, RecordHeap, RecordId, HEAP_MAGIC};
 pub use journal::Journal;
 pub use page::{Page, PageId};
 pub use reclaim::DeferredFreeList;

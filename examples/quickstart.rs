@@ -1,57 +1,70 @@
-//! Quickstart: create a Sagiv B\*-tree, insert/search/delete, scan a range,
-//! and verify the structure.
+//! Quickstart: open a `Db`, store byte values, fetch them back, stream a
+//! range scan, and verify the structure underneath.
+//!
+//! The `Db` facade composes the Sagiv B\*-tree (as a §2.1 dense index),
+//! the record heap holding the value bytes, and — in durable mode — the
+//! WAL, behind one handle. No tree/heap wiring, no `RecordId` bookkeeping.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use blink_pagestore::{PageStore, StoreConfig};
-use sagiv_blink::{BLinkTree, InsertOutcome, TreeConfig};
+use sagiv_blink_repro::db::{Db, DbConfig, PutOutcome};
 
 fn main() {
-    // A page store is the paper's model of secondary storage: fixed-size
-    // blocks with indivisible get/put.
-    let store = PageStore::new(StoreConfig::with_page_size(4096));
-
-    // k = 16: every node holds between 16 and 32 pairs.
-    let tree = BLinkTree::create(store, TreeConfig::with_k(16)).expect("create tree");
+    // An in-memory database (swap in `DbConfig::durable("some/dir")` for a
+    // crash-recoverable one — the API is identical).
+    let db = Db::open(DbConfig::in_memory().with_k(16)).expect("open db");
 
     // Every worker ("process" in the paper) gets a session.
-    let mut session = tree.session();
+    let mut session = db.session();
 
-    // Insert some key → value pairs.
+    // Store byte values under u64 keys.
     for i in 0..1_000u64 {
-        let outcome = tree.insert(&mut session, i * 7, i).expect("insert");
-        assert_eq!(outcome, InsertOutcome::Inserted);
+        let value = format!("user-{i}@example.com");
+        let outcome = session.put(i * 7, value.as_bytes()).expect("put");
+        assert_eq!(outcome, PutOutcome::Inserted);
     }
-    // Duplicate keys are reported, not overwritten (§3.2).
+
+    // Overwrites replace the value (in place when the size allows) and
+    // report that they did.
     assert_eq!(
-        tree.insert(&mut session, 0, 999).unwrap(),
-        InsertOutcome::Duplicate
+        session.put(0, b"root@example.com").unwrap(),
+        PutOutcome::Replaced
     );
 
-    // Point lookups are lock-free.
-    assert_eq!(tree.search(&mut session, 7 * 500).unwrap(), Some(500));
-    assert_eq!(tree.search(&mut session, 3).unwrap(), None);
-
-    // Range scans ride the leaf links.
-    let window = tree.range(&mut session, 70, 140).unwrap();
-    println!(
-        "keys in [70, 140]: {:?}",
-        window.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    // Point lookups are lock-free; `get_with` reads the record bytes
+    // straight from the buffer-pool frame without copying them out.
+    assert_eq!(
+        session.get(7 * 500).unwrap().as_deref(),
+        Some(b"user-500@example.com".as_slice())
     );
+    let len = session.get_with(0, |bytes| bytes.len()).unwrap();
+    assert_eq!(len, Some(16));
+    assert_eq!(session.get(3).unwrap(), None);
 
-    // Deletions return the old value.
-    assert_eq!(tree.delete(&mut session, 7).unwrap(), Some(1));
-    assert_eq!(tree.delete(&mut session, 7).unwrap(), None);
+    // Range queries stream through a lazy cursor over the leaf links —
+    // nothing is materialized, keys arrive in order.
+    let mut in_window = 0;
+    for pair in session.scan(70, 140) {
+        let (key, value) = pair.expect("scan step");
+        println!("  {key}: {}", String::from_utf8_lossy(&value));
+        in_window += 1;
+    }
+    assert_eq!(in_window, 11); // 70, 77, ..., 140
 
-    // The structural verifier checks every invariant, including the Fig. 2
-    // level-repetition property the algorithm's correctness rests on.
-    let report = tree.verify(false).expect("verify");
+    // Deletions free the record along with the index entry.
+    assert!(session.delete(7).unwrap());
+    assert!(!session.delete(7).unwrap());
+
+    // The structural verifier checks every invariant of the index below,
+    // including the Fig. 2 level-repetition property and the page
+    // accounting across index + heap (they share one store).
+    let report = db.verify().expect("verify");
     report.assert_ok();
     println!(
-        "tree OK: height={}, nodes={}, leaf pairs={}, avg leaf fill={:.0}%",
+        "db OK: height={}, nodes={}, keys={}, heap pages={}",
         report.height,
         report.node_count,
         report.leaf_pairs,
-        report.avg_leaf_fill * 100.0
+        db.heap().page_count()
     );
 }

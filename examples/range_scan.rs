@@ -1,24 +1,20 @@
-//! Range scans over the leaf links, with records stored in the record heap
-//! — the *dense index* arrangement of §2.1: leaves hold `(v, p)` where `p`
-//! points to the record with key value `v`.
+//! Time-window queries over an event log, on the `Db` facade.
+//!
+//! The §2.1 dense-index arrangement — leaves hold `(v, p)` pairs where `p`
+//! points to the record with key value `v` — used to require wiring a
+//! `BLinkTree`, a `RecordHeap` and raw `RecordId`s by hand. The `Db` owns
+//! all of that now: records live in the heap, the index points at them,
+//! and overwrite/delete free them automatically.
 //!
 //! Run with: `cargo run --release --example range_scan`
 
-use blink_pagestore::{PageStore, RecordHeap, RecordId, StoreConfig};
-use sagiv_blink::{BLinkTree, TreeConfig};
-use std::sync::Arc;
+use sagiv_blink_repro::db::{Db, DbConfig};
 
 fn main() {
-    // Separate stores for index pages and record pages, as a real system
-    // would separate index and data segments.
-    let index_store = PageStore::new(StoreConfig::with_page_size(4096));
-    let heap = Arc::new(RecordHeap::new(PageStore::new(
-        StoreConfig::with_page_size(4096),
-    )));
-    let tree = BLinkTree::create(index_store, TreeConfig::with_k(16)).expect("create tree");
-    let mut session = tree.session();
+    let db = Db::open(DbConfig::in_memory().with_k(16)).expect("open db");
+    let mut session = db.session();
 
-    // Store records (arbitrary bytes) in the heap; index them by timestamp.
+    // Store 50k event records, keyed by timestamp.
     println!("loading 50k event records…");
     for ts in 0..50_000u64 {
         let payload = format!(
@@ -26,37 +22,52 @@ fn main() {
             ts % 7,
             ts * 31 % 1000
         );
-        let rid = heap.insert(payload.as_bytes()).expect("heap insert");
-        tree.insert(&mut session, ts, rid.to_raw())
-            .expect("index insert");
+        session.put(ts, payload.as_bytes()).expect("put");
     }
 
-    // A time-window query: index range scan + record fetches.
+    // A time-window query: one streaming cursor, values joined on the fly.
     let (lo, hi) = (31_400u64, 31_405u64);
     println!("events in window [{lo}, {hi}]:");
-    for (ts, raw_rid) in tree.range(&mut session, lo, hi).expect("range") {
-        let rid = RecordId::from_raw(raw_rid).expect("valid record id");
-        let record = heap.read(rid).expect("record read");
+    for pair in session.scan(lo, hi) {
+        let (ts, record) = pair.expect("scan");
         println!("  {ts}: {}", String::from_utf8_lossy(&record));
     }
 
-    // Retention: drop everything before t=40_000, index and records both.
-    println!("applying retention (drop t < 40000)…");
-    for (ts, raw_rid) in tree.range(&mut session, 0, 39_999).expect("range") {
-        tree.delete(&mut session, ts).expect("index delete");
-        heap.free(RecordId::from_raw(raw_rid).unwrap())
-            .expect("record free");
+    // The cursor streams: counting a 50k-key range buffers at most one
+    // leaf (≤ 2k pairs) at a time — no 50k-element Vec is ever built.
+    let mut total = 0u64;
+    let mut bytes = 0u64;
+    for pair in session.scan(0, u64::MAX) {
+        let (_, record) = pair.expect("scan");
+        total += 1;
+        bytes += record.len() as u64;
     }
+    println!("streamed {total} events ({bytes} value bytes) through the cursor");
+    assert_eq!(total, 50_000);
+
+    // Retention: drop everything before t=40_000. Deletes free the records
+    // too — no caller-managed heap bookkeeping.
+    println!("applying retention (drop t < 40000)…");
+    let doomed: Vec<u64> = session
+        .scan(0, 39_999)
+        .map(|pair| pair.expect("scan").0)
+        .collect();
+    for ts in doomed {
+        session.delete(ts).expect("delete");
+    }
+
     // Compress the index back to >= half-full nodes and release pages.
-    tree.compress_drain(&mut session, 1_000_000).expect("drain");
-    tree.compress_to_fixpoint(&mut session, 64)
+    let tree = db.tree();
+    tree.compress_drain(session.inner(), 1_000_000)
+        .expect("drain");
+    tree.compress_to_fixpoint(session.inner(), 64)
         .expect("fixpoint");
     let freed = tree.reclaim().expect("reclaim");
 
-    let rep = tree.verify(true).expect("verify");
+    let rep = db.verify().expect("verify");
     rep.assert_ok();
     println!(
-        "after retention: {} pairs, height {}, avg leaf fill {:.0}%, {} index pages reclaimed",
+        "after retention: {} events, height {}, avg leaf fill {:.0}%, {} index pages reclaimed",
         rep.leaf_pairs,
         rep.height,
         rep.avg_leaf_fill * 100.0,
@@ -64,16 +75,17 @@ fn main() {
     );
     println!(
         "record heap pages live: {} (freed pages were returned as their records emptied)",
-        heap.store().live_pages()
+        db.heap().page_count()
     );
 
-    // Scans are cheap: count the survivors.
-    let survivors = tree.range(&mut session, 0, u64::MAX).expect("scan");
-    assert_eq!(survivors.len(), 10_000);
-    assert!(survivors.first().unwrap().0 == 40_000);
-    println!(
-        "{} events retained, oldest t={}",
-        survivors.len(),
-        survivors[0].0
-    );
+    // The survivors, via one more streaming pass.
+    let survivors = session.scan(0, u64::MAX).count();
+    let oldest = session
+        .scan(0, u64::MAX)
+        .next()
+        .expect("nonempty")
+        .expect("scan");
+    assert_eq!(survivors, 10_000);
+    assert_eq!(oldest.0, 40_000);
+    println!("{survivors} events retained, oldest t={}", oldest.0);
 }

@@ -3,6 +3,8 @@
 //! Re-exports the member crates so examples and integration tests have a
 //! single dependency root. See the individual crates for documentation:
 //!
+//! * [`blink_db`] — **start here**: the unified `Db` facade (byte-value
+//!   KV API with streaming scans over the dense index)
 //! * [`sagiv_blink`] — the paper's contribution (core library)
 //! * [`blink_pagestore`] — storage/locking substrate (§2.2 model)
 //! * [`blink_durable`] — WAL, file-backed pages, crash recovery
@@ -11,6 +13,7 @@
 //! * [`blink_harness`] — experiment harness and linearizability checker
 
 pub use blink_baselines as baselines;
+pub use blink_db as db;
 pub use blink_durable as durable;
 pub use blink_harness as harness;
 pub use blink_pagestore as pagestore;

@@ -1,89 +1,104 @@
-//! Cross-crate integration: the tree as a §2.1 dense index over the record
-//! heap — "the leaves contain pairs (v, p), where p points to the record
-//! with key value v" — under concurrent writers and a compression pool.
+//! Cross-crate integration: the §2.1 dense index as consumed through the
+//! `Db` facade — "the leaves contain pairs (v, p), where p points to the
+//! record with key value v" — under concurrent writers and a compression
+//! pool. No caller-managed heap, no raw `RecordId`s.
 
-use blink_pagestore::{PageStore, RecordHeap, RecordId, StoreConfig};
-use sagiv_blink::{BLinkTree, CompressorPool, TreeConfig};
+use sagiv_blink_repro::blink::CompressorPool;
+use sagiv_blink_repro::db::{Db, DbConfig, PutOutcome};
 use std::sync::Arc;
 
-fn setup() -> (Arc<BLinkTree>, Arc<RecordHeap>) {
-    let index_store = PageStore::new(StoreConfig::with_page_size(4096));
-    let heap = Arc::new(RecordHeap::new(PageStore::new(
-        StoreConfig::with_page_size(4096),
-    )));
-    let tree = BLinkTree::create(index_store, TreeConfig::with_k(4)).unwrap();
-    (tree, heap)
+fn db() -> Db {
+    Db::open(DbConfig::in_memory().with_k(4)).unwrap()
 }
 
 #[test]
 fn records_round_trip_through_the_index() {
-    let (tree, heap) = setup();
-    let mut s = tree.session();
+    let db = db();
+    let mut s = db.session();
     for i in 0..5_000u64 {
         let payload = format!("record-{i}-{}", "x".repeat((i % 50) as usize));
-        let rid = heap.insert(payload.as_bytes()).unwrap();
-        tree.insert(&mut s, i, rid.to_raw()).unwrap();
+        assert_eq!(s.put(i, payload.as_bytes()).unwrap(), PutOutcome::Inserted);
     }
     for i in (0..5_000u64).step_by(7) {
-        let raw = tree.search(&mut s, i).unwrap().expect("indexed");
-        let rid = RecordId::from_raw(raw).expect("valid rid");
-        let data = heap.read(rid).unwrap();
+        let data = s.get(i).unwrap().expect("indexed");
         assert!(String::from_utf8(data)
             .unwrap()
             .starts_with(&format!("record-{i}-")));
     }
-    // Delete index + record together; both must report missing afterwards.
-    let raw = tree.delete(&mut s, 1234).unwrap().expect("present");
-    let rid = RecordId::from_raw(raw).unwrap();
-    heap.free(rid).unwrap();
-    assert_eq!(tree.search(&mut s, 1234).unwrap(), None);
-    assert!(heap.read(rid).is_err());
+    // Delete removes index entry and record together.
+    assert!(s.delete(1234).unwrap());
+    assert_eq!(s.get(1234).unwrap(), None);
+    // Overwrites never leak records: live records == live keys, always.
+    for i in 0..1_000u64 {
+        s.put(i, format!("replacement-{i}").as_bytes()).unwrap();
+    }
+    assert_eq!(db.heap().live_records().unwrap().len(), s.count().unwrap());
+    db.verify().unwrap().assert_ok();
 }
 
 #[test]
 fn concurrent_writers_own_records() {
-    let (tree, heap) = setup();
-    let pool = CompressorPool::spawn(&tree, 1);
+    let db = Arc::new(db());
+    let pool = CompressorPool::spawn(db.tree(), 1);
     std::thread::scope(|scope| {
         for w in 0..4u64 {
-            let tree = Arc::clone(&tree);
-            let heap = Arc::clone(&heap);
+            let db = Arc::clone(&db);
             scope.spawn(move || {
-                let mut s = tree.session();
+                let mut s = db.session();
                 let base = w * 100_000;
-                let mut rids = Vec::new();
                 for i in 0..2_000u64 {
-                    let rid = heap.insert(format!("w{w}:{i}").as_bytes()).unwrap();
-                    tree.insert(&mut s, base + i, rid.to_raw()).unwrap();
-                    rids.push((base + i, rid));
+                    s.put(base + i, format!("w{w}:{i}").as_bytes()).unwrap();
                 }
                 // Verify own records while others churn.
-                for (key, rid) in &rids {
-                    let raw = tree.search(&mut s, *key).unwrap().expect("own key");
-                    assert_eq!(raw, rid.to_raw());
-                    let data = heap.read(*rid).unwrap();
+                for i in 0..2_000u64 {
+                    let data = s.get(base + i).unwrap().expect("own key");
                     assert!(data.starts_with(format!("w{w}:").as_bytes()));
                 }
-                // Retention: delete the first half, index and records.
-                for (key, rid) in rids.iter().take(1_000) {
-                    assert!(tree.delete(&mut s, *key).unwrap().is_some());
-                    heap.free(*rid).unwrap();
+                // Retention: delete the first half — index and records go
+                // together now.
+                for i in 0..1_000u64 {
+                    assert!(s.delete(base + i).unwrap());
                 }
             });
         }
     });
     pool.stop();
-    let mut s = tree.session();
-    tree.compress_drain(&mut s, 1_000_000).unwrap();
+    let mut s = db.session();
+    let tree = db.tree();
+    tree.compress_drain(s.inner(), 1_000_000).unwrap();
     tree.reclaim().unwrap();
-    let rep = tree.verify(false).unwrap();
+    let rep = db.verify().unwrap();
     rep.assert_ok();
     assert_eq!(rep.leaf_pairs, 4 * 1_000);
-    // Every surviving index entry must resolve to a live record.
-    for (key, raw) in tree.range(&mut s, 0, u64::MAX).unwrap() {
-        let rid = RecordId::from_raw(raw).unwrap();
-        let data = heap.read(rid).unwrap();
+    // Every surviving index entry resolves to the right worker's record,
+    // streamed through the scan cursor.
+    let mut n = 0;
+    for pair in s.scan(0, u64::MAX) {
+        let (key, data) = pair.unwrap();
         let w = key / 100_000;
         assert!(data.starts_with(format!("w{w}:").as_bytes()));
+        n += 1;
     }
+    assert_eq!(n, 4 * 1_000);
+    // And the heap holds exactly those records — nothing dangles or leaks.
+    assert_eq!(db.heap().live_records().unwrap().len(), 4 * 1_000);
+}
+
+#[test]
+fn scan_cursor_streams_fifty_thousand_keys() {
+    let db = Db::open(DbConfig::in_memory().with_k(16)).unwrap();
+    let mut s = db.session();
+    for i in 0..50_000u64 {
+        s.put(i, &i.to_le_bytes()).unwrap();
+    }
+    // One pass, no materialization: the cursor hands out pairs in order
+    // while buffering at most one leaf internally.
+    let mut expect = 0u64;
+    for pair in s.scan(0, u64::MAX) {
+        let (k, v) = pair.unwrap();
+        assert_eq!(k, expect);
+        assert_eq!(v, k.to_le_bytes());
+        expect += 1;
+    }
+    assert_eq!(expect, 50_000);
 }

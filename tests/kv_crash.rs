@@ -1,0 +1,258 @@
+//! Index/heap crash consistency through the `Db` facade.
+//!
+//! A `put` touches two structures — the record heap (value bytes) and the
+//! index (the leaf's `RecordId`) — through one shared WAL. The matrix test
+//! kills the store after *every* WAL-record boundary of a mixed
+//! put/overwrite/delete run and asserts, for each boundary, that the
+//! reopened `Db` is **mutually consistent**: every leaf's `RecordId`
+//! resolves to a live record (no dangling — `Db::open` hard-errors
+//! otherwise), every live record is referenced by exactly one leaf (no
+//! leaks — orphans are GC'd and counted), and every committed key reads
+//! back its committed value.
+
+use sagiv_blink_repro::db::{Db, DbConfig};
+use sagiv_blink_repro::durable::FsyncPolicy;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blink-kvcrash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: &PathBuf) -> DbConfig {
+    let mut c = DbConfig::durable(dir).with_k(4);
+    c.page_size = 1024;
+    c.fsync = FsyncPolicy::Never; // the injected crash cuts at record granularity
+    c.segment_bytes = 128 << 10;
+    c
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Delete(u64),
+}
+
+/// Deterministic mixed workload. Values vary in size so overwrites exercise
+/// both the in-place path (same size) and the move path (growth).
+fn op_at(i: u64, key_space: u64) -> Op {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x3C79_AC49_2BA7_B653);
+    x ^= x >> 33;
+    let key = x % key_space;
+    if x >> 40 & 0b11 == 0b11 && i > key_space / 2 {
+        Op::Delete(key)
+    } else {
+        let len = 8 + (x >> 48) as usize % 48;
+        let mut v = vec![(i % 251) as u8; len];
+        v[..8].copy_from_slice(&i.to_le_bytes());
+        Op::Put(key, v)
+    }
+}
+
+/// Applies ops until one fails (the crash) or the workload ends. Returns
+/// the committed model and the in-flight (failed) key.
+fn run_until_crash(db: &Db, ops: u64, key_space: u64) -> (BTreeMap<u64, Vec<u8>>, Option<u64>) {
+    let mut model = BTreeMap::new();
+    let mut session = db.session();
+    for i in 0..ops {
+        let op = op_at(i, key_space);
+        let (key, result) = match &op {
+            Op::Put(k, v) => (*k, session.put(*k, v).map(|_| ())),
+            Op::Delete(k) => (*k, session.delete(*k).map(|_| ())),
+        };
+        if result.is_err() {
+            return (model, Some(key));
+        }
+        match op {
+            Op::Put(k, v) => {
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                model.remove(&k);
+            }
+        }
+    }
+    (model, None)
+}
+
+/// The reopened `Db` must be internally consistent and must contain exactly
+/// the committed pairs; only the in-flight key may land either way.
+fn assert_consistent(db: &Db, model: &BTreeMap<u64, Vec<u8>>, inflight: Option<u64>, keys: u64) {
+    db.verify().unwrap().assert_ok();
+    let mut session = db.session();
+    // Mutual consistency: live records == index entries (Db::open already
+    // hard-errors on dangling ids; this closes the leak direction too).
+    let count = session.count().unwrap();
+    assert_eq!(
+        db.heap().live_records().unwrap().len(),
+        count,
+        "live heap records must match index entries exactly"
+    );
+    for k in 0..keys {
+        if Some(k) == inflight {
+            // The in-flight op may have landed either way; whatever value
+            // is present must still be readable without error.
+            let _ = session.get(k).unwrap();
+            continue;
+        }
+        assert_eq!(
+            session.get(k).unwrap().as_deref(),
+            model.get(&k).map(|v| v.as_slice()),
+            "key {k}: committed state lost or resurrected"
+        );
+    }
+}
+
+#[test]
+fn crash_point_matrix_over_a_mixed_kv_run() {
+    const OPS: u64 = 160;
+    const KEYS: u64 = 48;
+    let dir = tmpdir("matrix");
+
+    // Phase A: count the WAL records of the whole run, fault-free.
+    let total_records = {
+        let db = Db::open(cfg(&dir)).unwrap();
+        let before = db.store().stats().snapshot().wal_records;
+        let (_, inflight) = run_until_crash(&db, OPS, KEYS);
+        assert_eq!(inflight, None, "fault-free run must not fail");
+        db.store().stats().snapshot().wal_records - before
+    };
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(
+        total_records > 200,
+        "workload too small to be interesting: {total_records} records"
+    );
+
+    // Phase B: crash after every record boundary; recover; check.
+    for n in 0..=total_records {
+        let db = Db::open(cfg(&dir)).unwrap();
+        db.durable().unwrap().fault().crash_after_wal_records(n);
+        let (model, inflight) = run_until_crash(&db, OPS, KEYS);
+        if n >= total_records {
+            assert_eq!(inflight, None);
+        } else {
+            assert!(
+                db.durable().unwrap().fault().tripped(),
+                "boundary {n}: fault never fired"
+            );
+        }
+        drop(db);
+
+        let db = Db::open(cfg(&dir)).unwrap();
+        assert_consistent(&db, &model, inflight, KEYS);
+        // The recovered database stays writable.
+        let mut s = db.session();
+        s.put(u64::MAX - n, &n.to_le_bytes()).unwrap();
+        assert_eq!(
+            s.get(u64::MAX - n).unwrap().as_deref(),
+            Some(&n.to_le_bytes()[..])
+        );
+        drop(s);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn crashes_at_arbitrary_boundaries_of_a_large_run() {
+    const OPS: u64 = 4_000;
+    const KEYS: u64 = 512;
+    let dir = tmpdir("large");
+
+    let total_records = {
+        let db = Db::open(cfg(&dir)).unwrap();
+        let before = db.store().stats().snapshot().wal_records;
+        let (model, inflight) = run_until_crash(&db, OPS, KEYS);
+        assert_eq!(inflight, None);
+        assert!(model.len() > 200, "workload must leave a real database");
+        db.store().stats().snapshot().wal_records - before
+    };
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    for &n in &[total_records / 7, total_records / 2, total_records - 2] {
+        let db = Db::open(cfg(&dir)).unwrap();
+        db.durable().unwrap().fault().crash_after_wal_records(n);
+        let (model, inflight) = run_until_crash(&db, OPS, KEYS);
+        assert!(db.durable().unwrap().fault().tripped());
+        drop(db);
+
+        let db = Db::open(cfg(&dir)).unwrap();
+        let rec = db.recovery().unwrap();
+        assert!(rec.wal_records_replayed > 0);
+        assert_consistent(&db, &model, inflight, KEYS);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn clean_shutdown_reopens_with_no_orphans() {
+    let dir = tmpdir("clean");
+    {
+        let db = Db::open(cfg(&dir)).unwrap();
+        let mut s = db.session();
+        for i in 0..2_000u64 {
+            s.put(i, format!("v{i}").as_bytes()).unwrap();
+        }
+        for i in 0..500u64 {
+            s.put(i, format!("v{i}-rewritten-longer").as_bytes())
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        db.sync().unwrap();
+    }
+    let db = Db::open(cfg(&dir)).unwrap();
+    let rec = db.recovery().unwrap();
+    assert!(!rec.tree_repaired, "clean shutdown needs no repair");
+    assert_eq!(rec.orphan_records_freed, 0, "clean shutdown leaks nothing");
+    let mut s = db.session();
+    assert_eq!(s.count().unwrap(), 2_000);
+    assert_eq!(
+        s.get(100).unwrap().unwrap(),
+        b"v100-rewritten-longer".to_vec()
+    );
+    drop(s);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn concurrent_kv_load_then_crash_then_recover() {
+    let dir = tmpdir("concurrent");
+    {
+        let db = Arc::new(Db::open(cfg(&dir)).unwrap());
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    let mut s = db.session();
+                    for i in 0..300u64 {
+                        // Once the injected crash (below) fires, every
+                        // subsequent write errors; just stop.
+                        if s.put(w * 1_000 + i, &[w as u8; 24]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            // Let the writers race a mid-run crash.
+            db.durable().unwrap().fault().crash_after_wal_records(900);
+        });
+    }
+    let db = Db::open(cfg(&dir)).unwrap();
+    let mut s = db.session();
+    assert_eq!(
+        db.heap().live_records().unwrap().len(),
+        s.count().unwrap(),
+        "recovery must reconcile index and heap even after a concurrent crash"
+    );
+    db.verify().unwrap().assert_ok();
+    drop(s);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
