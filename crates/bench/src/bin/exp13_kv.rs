@@ -55,6 +55,19 @@ fn base_cfg() -> KvRunConfig {
 fn run_one(db: &Arc<Db>, cfg: &KvRunConfig, part: &'static str) -> Record {
     let r = run_kv(db, cfg);
     assert_eq!(r.errors, 0, "kv workload must not error");
+    println!(
+        "  heap: {} live records on {} pages ({} open across {} shards, {} queued); \
+         {} slots reused, {} pages recycled, {} released, {} double-frees",
+        r.heap_live_records,
+        r.heap_pages,
+        r.heap_open_pages,
+        db.heap().shard_count(),
+        r.heap_queued_pages,
+        r.store.heap_slots_reused,
+        r.store.heap_pages_recycled,
+        r.store.heap_pages_released,
+        r.store.heap_double_frees,
+    );
     Record {
         part,
         mix: cfg.mix.label(),

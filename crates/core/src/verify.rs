@@ -43,6 +43,11 @@ pub struct VerifyReport {
     pub underfull_nodes: usize,
     /// Mean leaf fill as a fraction of capacity `2k`.
     pub avg_leaf_fill: f64,
+    /// Pages owned by a co-resident structure (the record heap's gauge via
+    /// `TreeConfig::external_pages`) that the page accounting credited —
+    /// including shard-resident open pages and recycle-queued pages, which
+    /// are live heap pages like any other.
+    pub external_pages: usize,
 }
 
 impl VerifyReport {
@@ -195,6 +200,7 @@ impl BLinkTree {
             .as_ref()
             .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
             .unwrap_or(0);
+        rep.external_pages = external;
         let expected = rep.node_count + 1 + self.freelist.pending_count() + external;
         let live = self.store.live_pages();
         if live != expected {

@@ -3,10 +3,12 @@
 use crate::config::DbConfig;
 use crate::scan::DbScan;
 use blink_durable::{DurableConfig, DurableStore};
-use blink_pagestore::{PageId, PageStore, RecordHeap, RecordId, Session, StoreConfig, StoreError};
+use blink_pagestore::{
+    HeapConfig, PageId, PageStore, RecordHeap, RecordId, Session, StoreConfig, StoreError,
+};
 use sagiv_blink::{BLinkTree, Result, TreeError, VerifyReport};
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Bounded retries for the read-side race where a record is freed between
 /// the index lookup and the heap fetch (the re-read converges: the index
@@ -56,9 +58,25 @@ pub struct Db {
     pub(crate) heap: Arc<RecordHeap>,
     durable: Option<Arc<DurableStore>>,
     recovery: Option<KvRecovery>,
+    /// Small pool of tree sessions backing the session-less [`Db::get`] /
+    /// [`Db::get_with`] read helpers, so read fan-out does not force
+    /// callers to thread a [`DbSession`] through every call site.
+    read_sessions: Mutex<Vec<Session>>,
 }
 
+/// Cap on pooled read sessions ([`Db::get`]); extras are dropped rather
+/// than hoarded when a burst of readers drains and returns them.
+const READ_SESSION_POOL: usize = 32;
+
 impl Db {
+    fn heap_config(cfg: &DbConfig) -> HeapConfig {
+        if cfg.heap_shards == 0 {
+            HeapConfig::default()
+        } else {
+            HeapConfig::with_shards(cfg.heap_shards)
+        }
+    }
+
     /// Opens (or creates) a database per `cfg`.
     ///
     /// Durable configurations replay the WAL, run the tree's structural
@@ -75,7 +93,9 @@ impl Db {
                     io_delay: None,
                     pool_frames: cfg.pool_frames,
                 });
-                let heap = Arc::new(RecordHeap::attach(Arc::clone(&store))?);
+                let heap = Arc::new(
+                    RecordHeap::attach_with_config(Arc::clone(&store), Db::heap_config(&cfg))?.0,
+                );
                 let mut tcfg = cfg.tree.clone();
                 tcfg.external_pages = Some(heap.pages_handle());
                 let tree = BLinkTree::create(store, tcfg)?;
@@ -84,6 +104,7 @@ impl Db {
                     heap,
                     durable: None,
                     recovery: None,
+                    read_sessions: Mutex::new(Vec::new()),
                 })
             }
             Some(dir) => {
@@ -99,7 +120,10 @@ impl Db {
                 } else {
                     let ds = Arc::new(DurableStore::create(dcfg)?);
                     let store = Arc::clone(ds.store());
-                    let heap = Arc::new(RecordHeap::attach(Arc::clone(&store))?);
+                    let heap = Arc::new(
+                        RecordHeap::attach_with_config(Arc::clone(&store), Db::heap_config(&cfg))?
+                            .0,
+                    );
                     let mut tcfg = cfg.tree.clone();
                     tcfg.external_pages = Some(heap.pages_handle());
                     let tree = BLinkTree::create(store, tcfg)?;
@@ -109,6 +133,7 @@ impl Db {
                         heap,
                         durable: Some(ds),
                         recovery: None,
+                        read_sessions: Mutex::new(Vec::new()),
                     })
                 }
             }
@@ -122,7 +147,8 @@ impl Db {
         // inventory everything below consumes — the protected set for the
         // tree's repair, the live-record list for GC, and the empty-page
         // candidates — without re-reading the store once per question.
-        let (heap, inventory) = RecordHeap::attach_with_inventory(Arc::clone(&store))?;
+        let (heap, inventory) =
+            RecordHeap::attach_with_config(Arc::clone(&store), Db::heap_config(&cfg))?;
         let heap = Arc::new(heap);
         let protected: HashSet<PageId> = inventory.pages.iter().copied().collect();
         let mut tcfg = cfg.tree.clone();
@@ -144,6 +170,7 @@ impl Db {
             heap,
             durable: Some(ds),
             recovery: Some(recovery),
+            read_sessions: Mutex::new(Vec::new()),
         })
     }
 
@@ -196,6 +223,40 @@ impl Db {
         }
     }
 
+    /// Session-less point read: fetches the value stored under `key`
+    /// without the caller owning a [`DbSession`]. Backed by a small
+    /// internal session pool, so read fan-out (one-shot lookups from many
+    /// threads, request handlers, tests) stays ergonomic *and* keeps the
+    /// per-session instrumentation the paper's process model wants.
+    ///
+    /// Hot read loops that issue many gets back-to-back should still hold
+    /// their own [`Db::session`]: the pooled handle costs two small mutex
+    /// hops per call.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>> {
+        self.get_with(key, |b| b.to_vec())
+    }
+
+    /// Session-less zero-copy read: like [`DbSession::get_with`], borrowing
+    /// the value bytes from the record page's pinned frame for exactly the
+    /// duration of the call.
+    pub fn get_with<R>(&self, key: u64, f: impl FnMut(&[u8]) -> R) -> Result<Option<R>> {
+        let mut session = self
+            .read_sessions
+            .lock()
+            .expect("read-session pool poisoned")
+            .pop()
+            .unwrap_or_else(|| self.tree.session());
+        let r = get_with_session(self, &mut session, key, f);
+        let mut pool = self
+            .read_sessions
+            .lock()
+            .expect("read-session pool poisoned");
+        if pool.len() < READ_SESSION_POOL {
+            pool.push(session);
+        }
+        r
+    }
+
     /// What the last [`Db::open`] recovery did (`None` for in-memory
     /// databases and fresh durable ones).
     pub fn recovery(&self) -> Option<&KvRecovery> {
@@ -241,9 +302,19 @@ impl Db {
     }
 
     /// Verifies every structural invariant of the index (and the page
-    /// accounting across index + heap). Quiesced databases only.
+    /// accounting across index + heap), plus the heap's own gauges: the
+    /// hot-path live-record counter must agree with a ground-truth page
+    /// sweep. Quiesced databases only.
     pub fn verify(&self) -> Result<VerifyReport> {
-        self.tree.verify(false)
+        let mut rep = self.tree.verify(false)?;
+        let swept = self.heap.live_records()?.len() as u64;
+        let gauge = self.heap.live_record_count();
+        if swept != gauge {
+            rep.errors.push(format!(
+                "heap accounting: live-record gauge {gauge} != {swept} records on pages"
+            ));
+        }
+        Ok(rep)
     }
 }
 
@@ -253,12 +324,47 @@ fn decode_rid(raw: u64) -> Result<RecordId> {
 
 /// Frees a record, treating "already gone" as success (a concurrent
 /// overwrite/delete got there first — exactly once is guaranteed by the
-/// index's single-lock leaf update, not by the heap).
+/// index's single-lock leaf update, not by the heap). The benign case is
+/// *only* [`StoreError::RecordMissing`], and it is counted in the store's
+/// `heap_double_frees` stat; anything else — a backend I/O failure, a
+/// journal error, corruption — propagates to the caller, because eating it
+/// would leave the heap silently leaking space (or worse) on a sick store.
 fn free_quiet(heap: &RecordHeap, raw: u64) -> Result<()> {
     match decode_rid(raw).and_then(|rid| Ok(heap.free(rid)?)) {
-        Ok(()) | Err(TreeError::Store(StoreError::RecordMissing(_))) => Ok(()),
+        Ok(()) => Ok(()),
+        Err(TreeError::Store(StoreError::RecordMissing(_))) => {
+            heap.note_double_free();
+            Ok(())
+        }
         Err(e) => Err(e),
     }
+}
+
+/// The shared point-read loop behind [`DbSession::get_with`] and the
+/// session-less [`Db::get_with`]: bounded retries over the race where a
+/// record is freed between the index lookup and the heap fetch.
+fn get_with_session<R>(
+    db: &Db,
+    session: &mut Session,
+    key: u64,
+    mut f: impl FnMut(&[u8]) -> R,
+) -> Result<Option<R>> {
+    for _ in 0..READ_RETRIES {
+        let Some(raw) = db.tree.search(session, key)? else {
+            return Ok(None);
+        };
+        let rid = decode_rid(raw)?;
+        match db.heap.read_with(rid, &mut f) {
+            Ok(r) => return Ok(Some(r)),
+            // Freed between index lookup and heap fetch: the index now
+            // holds the successor id (overwrite) or nothing (delete).
+            Err(StoreError::RecordMissing(_)) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(TreeError::TooManyRestarts {
+        attempts: READ_RETRIES,
+    })
 }
 
 /// One worker's handle: all KV operations go through a session, like the
@@ -330,23 +436,8 @@ impl<'db> DbSession<'db> {
     /// for exactly the duration of the call. `f` may run more than once if
     /// a concurrent overwrite races the fetch (only the last run's result
     /// is returned).
-    pub fn get_with<R>(&mut self, key: u64, mut f: impl FnMut(&[u8]) -> R) -> Result<Option<R>> {
-        for _ in 0..READ_RETRIES {
-            let Some(raw) = self.db.tree.search(&mut self.session, key)? else {
-                return Ok(None);
-            };
-            let rid = decode_rid(raw)?;
-            match self.db.heap.read_with(rid, &mut f) {
-                Ok(r) => return Ok(Some(r)),
-                // Freed between index lookup and heap fetch: the index now
-                // holds the successor id (overwrite) or nothing (delete).
-                Err(StoreError::RecordMissing(_)) => continue,
-                Err(e) => return Err(e.into()),
-            }
-        }
-        Err(TreeError::TooManyRestarts {
-            attempts: READ_RETRIES,
-        })
+    pub fn get_with<R>(&mut self, key: u64, f: impl FnMut(&[u8]) -> R) -> Result<Option<R>> {
+        get_with_session(self.db, &mut self.session, key, f)
     }
 
     /// Removes `key`; returns whether it was present. The index entry goes

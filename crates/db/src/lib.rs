@@ -260,6 +260,106 @@ mod tests {
     }
 
     #[test]
+    fn sessionless_get_reads_through_the_pool() {
+        let db = Arc::new(mem_db(4));
+        {
+            let mut s = db.session();
+            for i in 0..500u64 {
+                s.put(i, format!("v{i}").as_bytes()).unwrap();
+            }
+        }
+        // No DbSession anywhere below: pure `&Db` reads from many threads.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        assert_eq!(db.get(i).unwrap().unwrap(), format!("v{i}").into_bytes());
+                        assert_eq!(
+                            db.get_with(i, |b| b.len()).unwrap(),
+                            Some(format!("v{i}").len())
+                        );
+                    }
+                    assert_eq!(db.get(10_000).unwrap(), None);
+                });
+            }
+        });
+        db.verify().unwrap().assert_ok();
+    }
+
+    #[test]
+    fn overwrite_churn_reuses_slots_without_growing_the_heap() {
+        let db = Db::open(DbConfig::in_memory().with_k(4).with_heap_shards(2)).unwrap();
+        let mut s = db.session();
+        for i in 0..400u64 {
+            s.put(i, &[1u8; 64]).unwrap();
+        }
+        let pages_after_load = db.heap().page_count();
+        // Delete/re-put churn: every re-put should land in a freed slot.
+        for round in 0..5u8 {
+            for i in (0..400u64).step_by(2) {
+                assert!(s.delete(i).unwrap());
+            }
+            for i in (0..400u64).step_by(2) {
+                s.put(i, &[round; 64]).unwrap();
+            }
+        }
+        let snap = db.store().stats().snapshot();
+        assert!(
+            snap.heap_slots_reused >= 400,
+            "churn must reuse freed slots (got {})",
+            snap.heap_slots_reused
+        );
+        assert!(
+            db.heap().page_count() <= pages_after_load + db.heap().shard_count() + 1,
+            "slot reuse must keep the heap from growing: {} pages after churn vs {} after load",
+            db.heap().page_count(),
+            pages_after_load
+        );
+        for i in 0..400u64 {
+            let want = if i % 2 == 0 {
+                vec![4u8; 64]
+            } else {
+                vec![1u8; 64]
+            };
+            assert_eq!(s.get(i).unwrap().unwrap(), want);
+        }
+        db.verify().unwrap().assert_ok();
+    }
+
+    #[test]
+    fn double_frees_are_counted_not_ignored() {
+        let db = Arc::new(mem_db(8));
+        // Hammer one small key set with racing overwrites and deletes from
+        // several threads: some frees must lose the race and be counted.
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    let mut s = db.session();
+                    for i in 0..3_000u64 {
+                        let key = i % 17;
+                        if (i + t) % 3 == 0 {
+                            let _ = s.delete(key);
+                        } else {
+                            // Alternate sizes so overwrites take the
+                            // move-then-free path, racing other movers.
+                            let len = if i % 2 == 0 { 16 } else { 120 };
+                            s.put(key, &vec![t as u8; len]).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        db.verify().unwrap().assert_ok();
+        let mut s = db.session();
+        assert_eq!(db.heap().live_records().unwrap().len(), s.count().unwrap());
+        // The stat exists and the workload above is allowed to have hit it;
+        // what must never happen is an error escaping a benign double-free.
+        let _ = db.store().stats().snapshot().heap_double_frees;
+    }
+
+    #[test]
     fn checkpoint_is_durable_only() {
         let db = mem_db(4);
         assert!(db.checkpoint().is_err());

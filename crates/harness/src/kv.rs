@@ -7,7 +7,7 @@
 
 use crate::hist::Histogram;
 use blink_db::Db;
-use blink_pagestore::SessionStats;
+use blink_pagestore::{SessionStats, StatsSnapshot};
 use blink_workload::{KeyDist, KeyPicker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -143,6 +143,17 @@ pub struct KvRunResult {
     pub scanned_bytes: u64,
     /// Merged per-session stats (restarts, link follows, locks).
     pub sessions: SessionStats,
+    /// Store-counter delta over the measured phase (heap shard contention,
+    /// slot reuse, page recycling, WAL traffic, ...). The heap fields are
+    /// what `exp14` plots: `heap_shard_contended` / `heap_shard_wait_ns`
+    /// are the allocator-mutex story, `heap_slots_reused` /
+    /// `heap_pages_recycled` the space-reuse story.
+    pub store: StatsSnapshot,
+    /// Heap gauges sampled at the end of the run.
+    pub heap_live_records: u64,
+    pub heap_open_pages: usize,
+    pub heap_queued_pages: usize,
+    pub heap_pages: usize,
 }
 
 impl KvRunResult {
@@ -159,6 +170,22 @@ impl KvRunResult {
     /// Value bytes streamed by scans, in MB/s.
     pub fn scan_mb_per_sec(&self) -> f64 {
         self.scanned_bytes as f64 / 1e6 / self.wall.as_secs_f64()
+    }
+
+    /// Heap-shard mutex waits per operation (0.0 for an idle run). An
+    /// all-thread write workload on one shard pushes this toward 1; with
+    /// enough shards it collapses toward 0.
+    pub fn heap_contention_rate(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.store.heap_shard_contended as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Milliseconds spent waiting on heap shard mutexes, across threads.
+    pub fn heap_wait_ms(&self) -> f64 {
+        self.store.heap_shard_wait_ns as f64 / 1e6
     }
 }
 
@@ -203,7 +230,13 @@ pub fn run_kv(db: &Arc<Db>, cfg: &KvRunConfig) -> KvRunResult {
         scanned_pairs: 0,
         scanned_bytes: 0,
         sessions: SessionStats::default(),
+        store: StatsSnapshot::default(),
+        heap_live_records: 0,
+        heap_open_pages: 0,
+        heap_queued_pages: 0,
+        heap_pages: 0,
     };
+    let store_before = db.store().stats().snapshot();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -303,6 +336,11 @@ pub fn run_kv(db: &Arc<Db>, cfg: &KvRunConfig) -> KvRunResult {
         }
         result.wall = t0.elapsed();
     });
+    result.store = db.store().stats().snapshot().delta(&store_before);
+    result.heap_live_records = db.heap().live_record_count();
+    result.heap_open_pages = db.heap().open_page_count();
+    result.heap_queued_pages = db.heap().queued_page_count();
+    result.heap_pages = db.heap().page_count();
 
     result
 }
@@ -335,6 +373,14 @@ mod tests {
         // Index and heap stayed mutually consistent under the mixed load.
         let mut s = db.session();
         assert_eq!(db.heap().live_records().unwrap().len(), s.count().unwrap());
+        // The heap metrics populated: the balanced mix deletes and re-puts,
+        // so some inserts must have landed in freed slots.
+        assert_eq!(r.heap_live_records, s.count().unwrap() as u64);
+        assert!(r.heap_pages > 0);
+        assert!(
+            r.store.heap_slots_reused > 0,
+            "delete/put churn must exercise slot reuse"
+        );
     }
 
     #[test]

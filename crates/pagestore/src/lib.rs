@@ -47,10 +47,10 @@ pub mod store;
 pub use backend::{MemBackend, PageBackend};
 pub use clock::LogicalClock;
 pub use error::{Result, StoreError};
-pub use heap::{is_heap_page, HeapInventory, RecordHeap, RecordId, HEAP_MAGIC};
+pub use heap::{is_heap_page, HeapConfig, HeapInventory, RecordHeap, RecordId, HEAP_MAGIC};
 pub use journal::Journal;
 pub use page::{Page, PageId};
 pub use reclaim::DeferredFreeList;
 pub use session::{Session, SessionRegistry, SessionStats};
-pub use stats::StoreStats;
+pub use stats::{StatsSnapshot, StoreStats};
 pub use store::{PageRef, PageStore, PageWrite, StoreConfig, WriteIntent};

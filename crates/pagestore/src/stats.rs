@@ -59,6 +59,22 @@ pub struct StoreStats {
     pub wal_group_commit_records: AtomicU64,
     /// WAL records replayed by recovery when the store was opened.
     pub recovery_replayed: AtomicU64,
+    /// Heap inserts that landed in a reused (previously freed) slot
+    /// instead of bump-allocating a new one.
+    pub heap_slots_reused: AtomicU64,
+    /// Partially-empty heap pages adopted back into a shard's allocation
+    /// pool from the recycle queue.
+    pub heap_pages_recycled: AtomicU64,
+    /// Heap pages released back to the store (emptied by frees/rotation).
+    pub heap_pages_released: AtomicU64,
+    /// Benign double-frees the `Db` observed (a record already freed by a
+    /// racing overwrite/delete; real I/O errors are propagated, not
+    /// counted here).
+    pub heap_double_frees: AtomicU64,
+    /// Heap inserts that found their shard's allocator mutex held.
+    pub heap_shard_contended: AtomicU64,
+    /// Total nanoseconds heap inserts spent waiting for a shard mutex.
+    pub heap_shard_wait_ns: AtomicU64,
 }
 
 /// A point-in-time copy of [`StoreStats`], convenient for diffing.
@@ -86,6 +102,12 @@ pub struct StatsSnapshot {
     pub wal_group_commits: u64,
     pub wal_group_commit_records: u64,
     pub recovery_replayed: u64,
+    pub heap_slots_reused: u64,
+    pub heap_pages_recycled: u64,
+    pub heap_pages_released: u64,
+    pub heap_double_frees: u64,
+    pub heap_shard_contended: u64,
+    pub heap_shard_wait_ns: u64,
 }
 
 impl StoreStats {
@@ -125,6 +147,12 @@ impl StoreStats {
             wal_group_commits: self.wal_group_commits.load(Ordering::Relaxed),
             wal_group_commit_records: self.wal_group_commit_records.load(Ordering::Relaxed),
             recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
+            heap_slots_reused: self.heap_slots_reused.load(Ordering::Relaxed),
+            heap_pages_recycled: self.heap_pages_recycled.load(Ordering::Relaxed),
+            heap_pages_released: self.heap_pages_released.load(Ordering::Relaxed),
+            heap_double_frees: self.heap_double_frees.load(Ordering::Relaxed),
+            heap_shard_contended: self.heap_shard_contended.load(Ordering::Relaxed),
+            heap_shard_wait_ns: self.heap_shard_wait_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -156,6 +184,12 @@ impl StatsSnapshot {
             wal_group_commit_records: self.wal_group_commit_records
                 - earlier.wal_group_commit_records,
             recovery_replayed: self.recovery_replayed - earlier.recovery_replayed,
+            heap_slots_reused: self.heap_slots_reused - earlier.heap_slots_reused,
+            heap_pages_recycled: self.heap_pages_recycled - earlier.heap_pages_recycled,
+            heap_pages_released: self.heap_pages_released - earlier.heap_pages_released,
+            heap_double_frees: self.heap_double_frees - earlier.heap_double_frees,
+            heap_shard_contended: self.heap_shard_contended - earlier.heap_shard_contended,
+            heap_shard_wait_ns: self.heap_shard_wait_ns - earlier.heap_shard_wait_ns,
         }
     }
 
