@@ -45,6 +45,7 @@ fn run_one(mix: Mix, delay: Option<Duration>, pool_frames: usize, part: &'static
         page_size: 4096,
         io_delay: delay,
         pool_frames,
+        delta_puts: true,
     });
     let tree: Arc<dyn ConcurrentIndex> = BLinkTree::create(store, TreeConfig::with_k(16)).unwrap();
     let cfg = RunConfig {

@@ -43,6 +43,7 @@ struct Record {
     p50_put_us: f64,
     heap_contended: u64,
     heap_wait_ms: f64,
+    heap_wait_p99: String,
     slots_reused: u64,
     pages_recycled: u64,
     heap_pages: usize,
@@ -76,9 +77,20 @@ fn run_one(db: &Arc<Db>, cfg: &KvRunConfig, part: &'static str) -> Record {
         p50_put_us: r.put_lat.percentile(50.0) as f64 / 1_000.0,
         heap_contended: r.store.heap_shard_contended,
         heap_wait_ms: r.heap_wait_ms(),
+        heap_wait_p99: tail_label(r.heap_wait_percentile_us(99.0)),
         slots_reused: r.store.heap_slots_reused,
         pages_recycled: r.store.heap_pages_recycled,
         heap_pages: r.heap_pages,
+    }
+}
+
+/// Formats a windowed-histogram tail percentile for tables/JSON
+/// (bucket upper edge; "-" when the window saw no contention).
+fn tail_label(p: Option<f64>) -> String {
+    match p {
+        None => "-".into(),
+        Some(us) if us.is_infinite() => ">=1s".into(),
+        Some(us) => format!("<={us:.0}us"),
     }
 }
 
@@ -107,6 +119,7 @@ fn main() {
             "p50 put µs",
             "heap waits",
             "heap wait ms",
+            "wait p99",
         ]);
         for &n in threads {
             let db =
@@ -120,6 +133,7 @@ fn main() {
                 format!("{:.1}", rec.p50_put_us),
                 rec.heap_contended.to_string(),
                 format!("{:.2}", rec.heap_wait_ms),
+                rec.heap_wait_p99.clone(),
             ]);
             records.push(rec);
             db.verify().unwrap().assert_ok();
@@ -138,6 +152,7 @@ fn main() {
         "ops/s",
         "heap waits",
         "heap wait ms",
+        "wait p99",
         "waits/op",
     ]);
     let mut ablation: Vec<(usize, u64)> = Vec::new();
@@ -153,6 +168,7 @@ fn main() {
             format!("{:.0}", rec.ops_per_sec),
             rec.heap_contended.to_string(),
             format!("{:.2}", rec.heap_wait_ms),
+            rec.heap_wait_p99.clone(),
             format!(
                 "{:.4}",
                 rec.heap_contended as f64 / (rec.total_ops as f64).max(1.0)
@@ -222,8 +238,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"part\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \
              \"ops_per_sec\": {:.1}, \"p50_put_us\": {:.2}, \"heap_shard_contended\": {}, \
-             \"heap_wait_ms\": {:.3}, \"slots_reused\": {}, \"pages_recycled\": {}, \
-             \"heap_pages\": {}}}{}\n",
+             \"heap_wait_ms\": {:.3}, \"heap_wait_p99\": \"{}\", \"slots_reused\": {}, \
+             \"pages_recycled\": {}, \"heap_pages\": {}}}{}\n",
             r.part,
             r.mix,
             r.threads,
@@ -232,6 +248,7 @@ fn main() {
             r.p50_put_us,
             r.heap_contended,
             r.heap_wait_ms,
+            r.heap_wait_p99,
             r.slots_reused,
             r.pages_recycled,
             r.heap_pages,

@@ -46,6 +46,7 @@ pub fn fresh_store_io(delay: Duration) -> Arc<PageStore> {
         page_size: 4096,
         io_delay: Some(delay),
         pool_frames: 0,
+        delta_puts: true,
     })
 }
 
@@ -55,6 +56,7 @@ pub fn fresh_store_io_cached(delay: Duration, frames: usize) -> Arc<PageStore> {
         page_size: 4096,
         io_delay: Some(delay),
         pool_frames: frames,
+        delta_puts: true,
     })
 }
 

@@ -32,6 +32,12 @@ pub struct DbConfig {
     /// records never contend on one allocator). `0` means auto — one shard
     /// per available CPU, capped at 16.
     pub heap_shards: usize,
+    /// Log heap-page mutations as coalesced WAL **delta records** gated by
+    /// per-page LSNs instead of full page images (durable stores only).
+    /// On by default — a 64-byte overwrite logs tens of bytes instead of a
+    /// page. `false` restores the v1 full-image log, the baseline
+    /// `exp15_walamp` measures write amplification against.
+    pub wal_delta_puts: bool,
 }
 
 impl DbConfig {
@@ -45,6 +51,7 @@ impl DbConfig {
             segment_bytes: 8 << 20,
             pool_frames: 1024,
             heap_shards: 0,
+            wal_delta_puts: true,
         }
     }
 
@@ -74,6 +81,13 @@ impl DbConfig {
     /// Sets the number of record-heap insertion shards (`0` = auto).
     pub fn with_heap_shards(mut self, shards: usize) -> DbConfig {
         self.heap_shards = shards;
+        self
+    }
+
+    /// Enables or disables delta-record WAL puts (see
+    /// [`DbConfig::wal_delta_puts`]).
+    pub fn with_wal_delta_puts(mut self, on: bool) -> DbConfig {
+        self.wal_delta_puts = on;
         self
     }
 }

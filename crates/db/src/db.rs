@@ -92,6 +92,7 @@ impl Db {
                     page_size: cfg.page_size,
                     io_delay: None,
                     pool_frames: cfg.pool_frames,
+                    delta_puts: cfg.wal_delta_puts,
                 });
                 let heap = Arc::new(
                     RecordHeap::attach_with_config(Arc::clone(&store), Db::heap_config(&cfg))?.0,
@@ -114,6 +115,7 @@ impl Db {
                     fsync: cfg.fsync,
                     segment_bytes: cfg.segment_bytes,
                     pool_frames: cfg.pool_frames,
+                    delta_puts: cfg.wal_delta_puts,
                 };
                 if dir.join("meta").exists() {
                     Db::open_durable(dcfg, cfg)

@@ -34,7 +34,8 @@ use crate::crc::crc32;
 use crate::fault::FaultInjector;
 use crate::wal::{self, io_err, FsyncPolicy, ScanReport, Wal, WalOp};
 use blink_pagestore::{
-    Journal, PageBackend, PageId, PageStore, Result, StoreConfig, StoreError, StoreStats,
+    page_lsn, set_page_lsn, Journal, PageBackend, PageStore, Result, StoreConfig, StoreError,
+    StoreStats,
 };
 use std::fs::{File, OpenOptions};
 use std::io::Read;
@@ -62,6 +63,10 @@ pub struct DurableConfig {
     /// point, and dirty frames reach `pages.db` on eviction, `sync` or
     /// checkpoint.
     pub pool_frames: usize,
+    /// Log tracked page writes (heap mutations) as coalesced delta
+    /// records instead of full page images. On by default; `false` is the
+    /// write-amplified v1 baseline `exp15` measures against.
+    pub delta_puts: bool,
 }
 
 impl DurableConfig {
@@ -73,6 +78,7 @@ impl DurableConfig {
             fsync: FsyncPolicy::Always,
             segment_bytes: 8 << 20,
             pool_frames: 1024,
+            delta_puts: true,
         }
     }
 
@@ -90,6 +96,7 @@ impl DurableConfig {
             page_size: self.page_size,
             io_delay: None,
             pool_frames: self.pool_frames,
+            delta_puts: self.delta_puts,
         }
     }
 
@@ -237,23 +244,28 @@ impl DurableStore {
         let mut allocated = meta.allocated;
         backend.grow(allocated.len())?;
 
-        // Replay: every valid record, in order, over the page file.
+        // Replay: every valid record, in order, over the page file. Full
+        // images (v1 puts, v2 bases, allocs) rewrite the page outright —
+        // which also repairs torn page-file writes, since the first
+        // record for any page dirtied after the checkpoint is always a
+        // full image. Delta records apply **iff newer than the page's
+        // stamped LSN**: the page file may already hold the effects of
+        // any prefix of the log (the buffer pool writes back on eviction),
+        // and the per-page LSN is what keeps re-applying deltas over that
+        // state idempotent.
         let zero = vec![0u8; cfg.page_size];
         let report = wal::scan(
             &cfg.dir,
             meta.wal_start_seq,
             meta.wal_start_lsn,
             cfg.page_size + 8,
-            |_lsn, op| {
-                let (pid, image): (PageId, Option<&[u8]>) = match &op {
-                    WalOp::Alloc(pid) => (*pid, Some(&zero)),
-                    WalOp::Free(pid) => (*pid, None),
-                    WalOp::Put(pid, data) => {
-                        if data.len() != cfg.page_size {
-                            return Err(StoreError::Corrupt("wal put with wrong page size"));
-                        }
-                        (*pid, Some(data))
-                    }
+            |lsn, op| {
+                let pid = match &op {
+                    WalOp::Alloc(pid)
+                    | WalOp::Free(pid)
+                    | WalOp::Put(pid, _)
+                    | WalOp::PutBase(pid, _)
+                    | WalOp::PutDelta(pid, _, _) => *pid,
                 };
                 let idx = (pid.to_raw() - 1) as usize;
                 if idx >= allocated.len() {
@@ -261,12 +273,46 @@ impl DurableStore {
                     backend.grow(idx + 1)?;
                 }
                 match op {
-                    WalOp::Alloc(_) => allocated[idx] = true,
+                    WalOp::Alloc(_) => {
+                        allocated[idx] = true;
+                        backend.write(idx, &zero)?;
+                    }
                     WalOp::Free(_) => allocated[idx] = false,
-                    WalOp::Put(..) => {}
-                }
-                if let Some(image) = image {
-                    backend.write(idx, image)?;
+                    WalOp::Put(_, data) => {
+                        if data.len() != cfg.page_size {
+                            return Err(StoreError::Corrupt("wal put with wrong page size"));
+                        }
+                        backend.write(idx, &data)?;
+                    }
+                    WalOp::PutBase(_, mut data) => {
+                        if data.len() != cfg.page_size {
+                            return Err(StoreError::Corrupt("wal put with wrong page size"));
+                        }
+                        // The live store stamped this LSN into the frame
+                        // right after appending; mirror it so the replayed
+                        // page file carries the same image.
+                        set_page_lsn(&mut data, lsn);
+                        backend.write(idx, &data)?;
+                    }
+                    WalOp::PutDelta(_, _, ranges) => {
+                        let mut buf = vec![0u8; cfg.page_size];
+                        backend.read(idx, &mut buf)?;
+                        if lsn > page_lsn(&buf) {
+                            for (off, bytes) in &ranges {
+                                let off = *off as usize;
+                                if off + bytes.len() > cfg.page_size {
+                                    return Err(StoreError::Corrupt(
+                                        "wal delta range past page end",
+                                    ));
+                                }
+                                buf[off..off + bytes.len()].copy_from_slice(bytes);
+                            }
+                            set_page_lsn(&mut buf, lsn);
+                            backend.write(idx, &buf)?;
+                        } else {
+                            StoreStats::bump(&stats.recovery_deltas_skipped);
+                        }
+                    }
                 }
                 Ok(())
             },
@@ -356,6 +402,10 @@ impl DurableStore {
     pub fn checkpoint(&self) -> Result<()> {
         self.wal.sync()?;
         self.store.sync()?;
+        // New epoch first: any write from here on logs a full image
+        // before its first delta, so the replay range that starts at the
+        // rotated segment always finds a base under every delta.
+        self.store.advance_checkpoint_epoch();
         let (seq, lsn) = self.wal.rotate_for_checkpoint()?;
         let capacity = self.store.capacity();
         let mut allocated = vec![false; capacity];
@@ -390,7 +440,7 @@ impl DurableStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blink_pagestore::Page;
+    use blink_pagestore::{Page, PageId};
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("blink-ds-{name}-{}", std::process::id()));
@@ -522,6 +572,120 @@ mod tests {
         assert_eq!(ds.store().get(a).unwrap().bytes()[0], 0xEE);
         assert_eq!(ds.store().live_pages(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tracked_write(store: &Arc<PageStore>, pid: PageId, off: usize, byte: u8) {
+        use blink_pagestore::WriteIntent;
+        let mut w = store.write_page(pid, WriteIntent::Update).unwrap();
+        w.write_at(off, &[byte; 4]);
+        w.commit().unwrap();
+    }
+
+    fn assert_pattern(store: &Arc<PageStore>, pid: PageId) {
+        let g = store.get(pid).unwrap();
+        for i in 0..5u8 {
+            assert!(
+                g.bytes()[40 + i as usize * 4..][..4]
+                    .iter()
+                    .all(|&b| b == i + 1),
+                "delta effects lost at range {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_replay_rebuilds_an_unflushed_page_exactly() {
+        // Drop without sync: pages.db never saw the frames, so replay must
+        // rebuild the page purely from the base + delta chain.
+        let dir = tmpdir("deltabuild");
+        let pid;
+        {
+            let ds = DurableStore::create(cfg(&dir)).unwrap();
+            pid = ds.store().alloc().unwrap();
+            for i in 0..5u8 {
+                tracked_write(ds.store(), pid, 40 + i as usize * 4, i + 1);
+            }
+        }
+        let ds = DurableStore::open(cfg(&dir)).unwrap();
+        let snap = ds.store().stats().snapshot();
+        assert_eq!(
+            snap.recovery_deltas_skipped, 0,
+            "a stale page file gates nothing"
+        );
+        assert_pattern(ds.store(), pid);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_replay_gates_on_the_page_lsn() {
+        // The per-page LSN gate is the safety net for states the epoch
+        // discipline cannot see: a crash *during* recovery, or a page-file
+        // write-back racing the crash, leaves pages.db already carrying
+        // some replayed deltas' effects (and their stamped LSNs) while the
+        // log still holds the same records. Build that state by hand:
+        // a post-checkpoint log holding only deltas, with the first
+        // delta's effects (and LSN) already in the page file.
+        let dir = tmpdir("deltagate");
+        {
+            let ds = DurableStore::create(cfg(&dir)).unwrap();
+            let pid = ds.store().alloc().unwrap(); // lsn 1
+            assert_eq!(pid.to_raw(), 1);
+            tracked_write(ds.store(), pid, 40, 0xEE); // delta, lsn 2
+            ds.checkpoint().unwrap(); // rotates to segment 2, next lsn 3
+        }
+        // Append two deltas (lsns 3 and 4) the way a pre-crash store did.
+        {
+            let w = Wal::open(
+                &dir,
+                FsyncPolicy::Never,
+                1 << 20,
+                2,
+                3,
+                Arc::new(FaultInjector::new()),
+                Arc::new(StoreStats::default()),
+            )
+            .unwrap();
+            assert_eq!(
+                w.log_put_delta(pid_raw(1), 2, &[(60, &[0xAB; 4])]).unwrap(),
+                3
+            );
+            assert_eq!(
+                w.log_put_delta(pid_raw(1), 3, &[(70, &[0xCD; 4])]).unwrap(),
+                4
+            );
+        }
+        // Apply delta 3 to pages.db by hand (its effects + stamped LSN
+        // reached the file; delta 4's did not).
+        {
+            use std::os::unix::fs::FileExt;
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(dir.join("pages.db"))
+                .unwrap();
+            let mut page = vec![0u8; 128];
+            f.read_exact_at(&mut page, 0).unwrap();
+            page[60..64].copy_from_slice(&[0xAB; 4]);
+            blink_pagestore::set_page_lsn(&mut page, 3);
+            f.write_all_at(&page, 0).unwrap();
+        }
+        let ds = DurableStore::open(cfg(&dir)).unwrap();
+        assert_eq!(ds.recovery().replayed, 2);
+        let snap = ds.store().stats().snapshot();
+        assert_eq!(
+            snap.recovery_deltas_skipped, 1,
+            "the already-applied delta must be skipped, the missing one applied"
+        );
+        let g = ds.store().get(pid_raw(1)).unwrap();
+        assert!(g.bytes()[40..44].iter().all(|&b| b == 0xEE));
+        assert!(g.bytes()[60..64].iter().all(|&b| b == 0xAB));
+        assert!(g.bytes()[70..74].iter().all(|&b| b == 0xCD));
+        assert_eq!(blink_pagestore::page_lsn(g.bytes()), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn pid_raw(n: u32) -> PageId {
+        PageId::from_raw(n).unwrap()
     }
 
     #[test]

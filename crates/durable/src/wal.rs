@@ -11,9 +11,28 @@
 //! len u32   payload length in bytes
 //! crc u32   CRC32 of the payload
 //! lsn u64   log sequence number (strictly +1 per record, across segments)
-//! payload:  op u8 (1 = alloc, 2 = free, 3 = put), pid u32,
-//!           [page image for put]
+//! payload:  op u8, pid u32, op-specific body
 //! ```
+//!
+//! Ops — v1 (format version 1 segments hold only these):
+//!
+//! * `1` alloc — empty body; replay zeroes the page.
+//! * `2` free — empty body.
+//! * `3` put — full page image; replay writes it verbatim.
+//!
+//! Ops — v2 (PR 5, the delta family; segments are written as format
+//! version 2 but readers accept both, so a log can mix versions across a
+//! rotation):
+//!
+//! * `4` put-base — full image of a page that reserves the per-page LSN
+//!   field (`blink_pagestore::PAGE_LSN_OFFSET`); replay writes the image
+//!   and stamps the record's own LSN into the field.
+//! * `5` put-delta — `page_lsn u64` (the page's LSN before this write,
+//!   diagnostic), `n u16`, then `n` ranges of `off u16, len u16, bytes`.
+//!   Replay applies the ranges **iff the record's LSN is newer than the
+//!   on-disk page's LSN field**, then stamps the record's LSN — which
+//!   makes replay idempotent no matter how much of the buffer pool's
+//!   write-back reached the page file before the crash.
 //!
 //! A reader accepts the longest prefix of records with valid checksums and
 //! contiguous LSNs and treats everything after the first invalid byte as a
@@ -37,7 +56,7 @@
 
 use crate::crc::Crc32;
 use crate::fault::FaultInjector;
-use blink_pagestore::{Journal, PageId, Result, StoreError, StoreStats};
+use blink_pagestore::{DeltaRange, Journal, PageId, Result, StoreError, StoreStats};
 use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -46,13 +65,19 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub(crate) const SEG_MAGIC: u32 = 0x4257_414C; // "BWAL"
-pub(crate) const SEG_VERSION: u32 = 1;
+/// Format version stamped into new segment headers (v2 = delta records).
+pub(crate) const SEG_VERSION: u32 = 2;
+/// Oldest format version the scanner still accepts (v1 = full images
+/// only); mixed-version logs arise from upgrades mid-log.
+pub(crate) const SEG_MIN_VERSION: u32 = 1;
 pub(crate) const SEG_HEADER: u64 = 16;
 const REC_HEADER: usize = 16;
 
 const OP_ALLOC: u8 = 1;
 const OP_FREE: u8 = 2;
 const OP_PUT: u8 = 3;
+const OP_PUT_BASE: u8 = 4;
+const OP_PUT_DELTA: u8 = 5;
 
 /// When does a commit reach stable storage?
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +95,15 @@ pub enum FsyncPolicy {
 pub enum WalOp {
     Alloc(PageId),
     Free(PageId),
+    /// v1 full image: replayed verbatim.
     Put(PageId, Vec<u8>),
+    /// v2 full image of an LSN-stamped page: replay writes the image and
+    /// stamps the record's LSN into the page's reserved field.
+    PutBase(PageId, Vec<u8>),
+    /// v2 delta: `(page, page_lsn_before, ranges)` where each range is
+    /// `(offset, new bytes)`. Replay applies the ranges iff the record's
+    /// LSN is newer than the on-disk page's.
+    PutDelta(PageId, u64, Vec<(u16, Vec<u8>)>),
 }
 
 pub(crate) fn io_err(context: &str, e: std::io::Error) -> StoreError {
@@ -125,6 +158,11 @@ pub struct Wal {
     /// Highest LSN known durable.
     flushed: Mutex<u64>,
     flush_cv: Condvar,
+    /// Committers currently inside [`Wal::commit`] under the Group policy.
+    /// A committer that finds itself alone skips the batching window and
+    /// fsyncs immediately (PostgreSQL-style self-tuning: on an idle system
+    /// there is nobody to batch with, so waiting only adds latency).
+    committers: std::sync::atomic::AtomicU64,
 }
 
 impl Wal {
@@ -186,6 +224,7 @@ impl Wal {
             }),
             flushed: Mutex::new(next_lsn.saturating_sub(1)),
             flush_cv: Condvar::new(),
+            committers: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -220,6 +259,7 @@ impl Wal {
             .map_err(|e| io_err("append wal record", e))?;
         inner.seg_len += buf.len() as u64;
         inner.next_lsn += 1;
+        StoreStats::add(&self.stats.wal_bytes, buf.len() as u64);
         Ok(lsn)
     }
 
@@ -263,21 +303,40 @@ impl Wal {
             FsyncPolicy::Never => Ok(()),
             FsyncPolicy::Always => self.sync_to(lsn),
             FsyncPolicy::Group { window } => {
-                let deadline = Instant::now() + window;
-                {
-                    let mut flushed = self.flushed.lock();
-                    while *flushed < lsn {
-                        if self.flush_cv.wait_until(&mut flushed, deadline).timed_out() {
-                            break;
-                        }
-                    }
-                    if *flushed >= lsn {
-                        return Ok(());
-                    }
-                }
-                self.sync_to(lsn)
+                use std::sync::atomic::Ordering;
+                // Self-tuning: only wait out the batching window when at
+                // least one other committer is in flight to share the
+                // fsync with. A solo committer on an idle system syncs
+                // immediately — the window would be pure added latency.
+                let siblings = self.committers.fetch_add(1, Ordering::AcqRel);
+                let r = if siblings == 0 {
+                    StoreStats::bump(&self.stats.wal_group_solo_commits);
+                    self.sync_to(lsn)
+                } else {
+                    self.commit_grouped(lsn, window)
+                };
+                self.committers.fetch_sub(1, Ordering::AcqRel);
+                r
             }
         }
+    }
+
+    /// The batching half of a Group commit: wait up to `window` for
+    /// somebody else's fsync to cover `lsn`, then fsync everything.
+    fn commit_grouped(&self, lsn: u64, window: Duration) -> Result<()> {
+        let deadline = Instant::now() + window;
+        {
+            let mut flushed = self.flushed.lock();
+            while *flushed < lsn {
+                if self.flush_cv.wait_until(&mut flushed, deadline).timed_out() {
+                    break;
+                }
+            }
+            if *flushed >= lsn {
+                return Ok(());
+            }
+        }
+        self.sync_to(lsn)
     }
 
     /// fsyncs everything appended so far if `lsn` is not yet durable.
@@ -315,6 +374,31 @@ impl Journal for Wal {
         self.commit(lsn)
     }
 
+    fn supports_deltas(&self) -> bool {
+        true
+    }
+
+    fn log_put_base(&self, pid: PageId, data: &[u8]) -> Result<u64> {
+        let lsn = self.append(OP_PUT_BASE, pid, data)?;
+        self.commit(lsn)?;
+        Ok(lsn)
+    }
+
+    fn log_put_delta(&self, pid: PageId, page_lsn: u64, ranges: &[DeltaRange<'_>]) -> Result<u64> {
+        let mut body =
+            Vec::with_capacity(10 + ranges.iter().map(|(_, b)| 4 + b.len()).sum::<usize>());
+        body.extend_from_slice(&page_lsn.to_le_bytes());
+        body.extend_from_slice(&(ranges.len() as u16).to_le_bytes());
+        for &(off, bytes) in ranges {
+            body.extend_from_slice(&off.to_le_bytes());
+            body.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            body.extend_from_slice(bytes);
+        }
+        let lsn = self.append(OP_PUT_DELTA, pid, &body)?;
+        self.commit(lsn)?;
+        Ok(lsn)
+    }
+
     fn sync(&self) -> Result<()> {
         let last = self.appended_lsn();
         if last == 0 {
@@ -322,6 +406,35 @@ impl Journal for Wal {
         }
         self.sync_to(last)
     }
+}
+
+/// Decodes a delta record body (`page_lsn u64, n u16, n × (off u16,
+/// len u16, bytes)`); `None` marks the record malformed (the CRC
+/// survived but the structure is impossible — treat as a torn tail).
+fn decode_delta(pid: PageId, body: &[u8]) -> Option<WalOp> {
+    if body.len() < 10 {
+        return None;
+    }
+    let page_lsn = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let n = u16::from_le_bytes(body[8..10].try_into().unwrap()) as usize;
+    let mut ranges = Vec::with_capacity(n);
+    let mut off = 10usize;
+    for _ in 0..n {
+        if off + 4 > body.len() {
+            return None;
+        }
+        let start = u16::from_le_bytes(body[off..off + 2].try_into().unwrap());
+        let len = u16::from_le_bytes(body[off + 2..off + 4].try_into().unwrap()) as usize;
+        if off + 4 + len > body.len() {
+            return None;
+        }
+        ranges.push((start, body[off + 4..off + 4 + len].to_vec()));
+        off += 4 + len;
+    }
+    if off != body.len() {
+        return None;
+    }
+    Some(WalOp::PutDelta(pid, page_lsn, ranges))
 }
 
 fn sync_dir(dir: &Path) -> Result<()> {
@@ -405,9 +518,12 @@ pub fn scan(
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| io_err("read wal segment", e))?;
         report.last_seg_seq = seq;
+        let version_ok = bytes.len() >= 8
+            && (SEG_MIN_VERSION..=SEG_VERSION)
+                .contains(&u32::from_le_bytes(bytes[4..8].try_into().unwrap()));
         if bytes.len() < SEG_HEADER as usize
             || bytes[0..4] != SEG_MAGIC.to_le_bytes()
-            || bytes[4..8] != SEG_VERSION.to_le_bytes()
+            || !version_ok
             || bytes[8..16] != seq.to_le_bytes()
         {
             // Unusable header (e.g. its write was lost to a crash): report
@@ -443,6 +559,14 @@ pub fn scan(
                 OP_ALLOC if len == 5 => WalOp::Alloc(pid),
                 OP_FREE if len == 5 => WalOp::Free(pid),
                 OP_PUT => WalOp::Put(pid, payload[5..].to_vec()),
+                OP_PUT_BASE => WalOp::PutBase(pid, payload[5..].to_vec()),
+                OP_PUT_DELTA => match decode_delta(pid, &payload[5..]) {
+                    Some(op) => op,
+                    None => {
+                        seg_ok = false;
+                        break;
+                    }
+                },
                 _ => {
                     seg_ok = false;
                     break;
@@ -678,6 +802,126 @@ mod tests {
         .unwrap();
         assert_eq!(n, 7, "exactly the pre-crash records survive");
         assert!(!report.torn, "a record-boundary crash leaves a clean tail");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_records_roundtrip_through_the_scanner() {
+        let dir = tmpdir("v2roundtrip");
+        let w = wal(&dir, FsyncPolicy::Always, 1 << 20);
+        w.log_alloc(pid(1)).unwrap();
+        let base_lsn = w.log_put_base(pid(1), &[0xAA; 64]).unwrap();
+        assert_eq!(base_lsn, 2);
+        let delta_lsn = w
+            .log_put_delta(pid(1), base_lsn, &[(4, &[1, 2, 3]), (40, &[9; 5])])
+            .unwrap();
+        assert_eq!(delta_lsn, 3);
+        let mut ops = Vec::new();
+        let report = scan(&dir, 1, 1, 128, |lsn, op| {
+            ops.push((lsn, op));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.replayed, 3);
+        assert!(!report.torn);
+        assert_eq!(ops[0], (1, WalOp::Alloc(pid(1))));
+        assert_eq!(ops[1], (2, WalOp::PutBase(pid(1), vec![0xAA; 64])));
+        assert_eq!(
+            ops[2],
+            (
+                3,
+                WalOp::PutDelta(pid(1), 2, vec![(4, vec![1, 2, 3]), (40, vec![9; 5])])
+            )
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_segments_scan_alongside_v2_ones() {
+        // The scanner accepts both format versions (v1 segments can only
+        // hold v1 ops, so decoding is unambiguous). Note this is log-level
+        // leniency only — pre-delta *stores* are still rejected loudly,
+        // because the heap page layout changed under `HEAP_MAGIC`.
+        let dir = tmpdir("mixedver");
+        {
+            let w = wal(&dir, FsyncPolicy::Always, 1 << 20);
+            w.log_put(pid(1), &[7; 8]).unwrap();
+        }
+        // Rewrite segment 1's header as format version 1 (its records are
+        // v1-only, so this is exactly what an old writer produced).
+        let path = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let report = scan(&dir, 1, 1, 64, |_, _| Ok(())).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert!(!report.torn);
+        // A future format version is still rejected.
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let report = scan(&dir, 1, 1, 64, |_, _| Ok(())).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert!(report.torn);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_delta_is_discarded_at_the_record_boundary() {
+        let dir = tmpdir("torndelta");
+        {
+            let w = wal(&dir, FsyncPolicy::Always, 1 << 20);
+            w.log_put_base(pid(1), &[0xAA; 32]).unwrap();
+            w.log_put_delta(pid(1), 1, &[(4, &[1; 6])]).unwrap();
+            w.log_put_delta(pid(1), 2, &[(10, &[2; 6])]).unwrap();
+        }
+        // Tear the last delta mid-payload.
+        let path = segment_path(&dir, 1);
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let mut ops = Vec::new();
+        let report = scan(&dir, 1, 1, 64, |_, op| {
+            ops.push(op);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ops.len(), 2, "the torn final delta must be dropped");
+        assert!(matches!(ops[1], WalOp::PutDelta(_, 1, _)));
+        assert!(report.torn);
+        assert_eq!(report.next_lsn, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn solo_group_committer_skips_the_batching_window() {
+        let dir = tmpdir("solo");
+        let stats = Arc::new(StoreStats::default());
+        let w = Wal::open(
+            &dir,
+            FsyncPolicy::Group {
+                // A window long enough that waiting it out would dominate
+                // the measured time many times over.
+                window: Duration::from_millis(250),
+            },
+            1 << 20,
+            1,
+            1,
+            Arc::new(FaultInjector::new()),
+            Arc::clone(&stats),
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        w.log_put(pid(1), &[1; 8]).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "a solo committer must not wait out the group window (took {:?})",
+            t0.elapsed()
+        );
+        assert!(stats.snapshot().wal_group_solo_commits >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -187,6 +187,30 @@ impl KvRunResult {
     pub fn heap_wait_ms(&self) -> f64 {
         self.store.heap_shard_wait_ns as f64 / 1e6
     }
+
+    /// Tail of this run's heap shard-wait distribution: the `p`-th
+    /// percentile wait in microseconds, from the store's fixed-bucket wait
+    /// histogram (windowed — the delta covers exactly the measured phase).
+    /// `None` when the run never contended.
+    pub fn heap_wait_percentile_us(&self, p: f64) -> Option<f64> {
+        self.store.heap_wait_percentile_ns(p).map(|ns| {
+            if ns == u64::MAX {
+                f64::INFINITY
+            } else {
+                ns as f64 / 1e3
+            }
+        })
+    }
+
+    /// WAL bytes appended per completed operation — the write-amplification
+    /// figure `exp15` sweeps (0.0 for in-memory stores).
+    pub fn wal_bytes_per_op(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.store.wal_bytes as f64 / self.total_ops as f64
+        }
+    }
 }
 
 /// Deterministic value payload for `key` (first bytes identify the key so

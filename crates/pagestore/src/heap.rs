@@ -40,7 +40,13 @@
 //! 6..8   magic    u16   HEAP_MAGIC — marks the page as heap-owned
 //! 8..10  gen      u16   generation of this heap incarnation of the page
 //! 10..12 state    u16   allocator state: 0 detached / 1 open / 2 queued
-//! 12..   record data, growing upward
+//! 12..20 lsn      u64   per-page LSN, stamped by the *store* on every
+//!                       delta-logged commit (PR 5). The heap never writes
+//!                       it; recovery applies a delta record to the page
+//!                       iff the record's LSN is newer. Coexists with
+//!                       magic/generation: those identify the page, the
+//!                       LSN orders its WAL records.
+//! 20..   record data, growing upward
 //! ...    slot directory growing downward from the page end;
 //!        slot i occupies the 8 bytes at page_size - 8*(i+1):
 //!        off u16, cap u16, len u16, gen u16
@@ -48,6 +54,12 @@
 //!        space can be handed to a later insert, and gen survives the free
 //!        so the next tenant can mint a strictly newer one)
 //! ```
+//!
+//! Every mutation below goes through the store's **tracked-range write
+//! API** ([`crate::PageWrite::write_at`]): a record insert dirties only
+//! its data extent, one slot-directory entry and a few header words, so
+//! the WAL sees a coalesced delta record of tens of bytes instead of a
+//! full page image — the PR 5 write-amplification fix.
 //!
 //! The freed marker is the same `0xFFFF` tombstone PR 3 used, moved from
 //! `off` to `len` so a tombstoned slot still remembers *where* and *how
@@ -92,9 +104,14 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-const HDR: usize = 12;
+const HDR: usize = 20;
 const SLOT: usize = 8;
 const FREED: u16 = 0xFFFF;
+
+// The store's per-page LSN field must sit inside the heap header, right
+// after the state word (see the layout above and `crate::page`).
+const _: () = assert!(crate::page::PAGE_LSN_OFFSET == 12);
+const _: () = assert!(crate::page::PAGE_LSN_OFFSET + crate::page::PAGE_LSN_LEN == HDR);
 
 /// Allocator states stored in header bytes 10..12.
 const STATE_DETACHED: u16 = 0;
@@ -109,7 +126,13 @@ const ADOPT_SCAN: usize = 8;
 /// Marks a page as belonging to a record heap (distinct from the node and
 /// prime-block magics, and unreachable by accident: it lives where a node
 /// stores its low-bound tag, which is never a valid tag at this value).
-pub const HEAP_MAGIC: u16 = 0xB187;
+///
+/// Bumped from `0xB187` when the header grew the per-page LSN field (PR 5,
+/// HDR 12 → 20): record data moved, so pages written under the old layout
+/// must be *rejected* (their leaves then read as dangling record ids —
+/// `Db::open` hard-errors) rather than silently reinterpreted with the
+/// first record's bytes overlapping the new LSN field.
+pub const HEAP_MAGIC: u16 = 0xB188;
 
 /// Configuration for a [`RecordHeap`].
 #[derive(Debug, Clone)]
@@ -180,6 +203,11 @@ fn read_u16(b: &[u8], off: usize) -> u16 {
 
 fn write_u16(b: &mut [u8], off: usize, v: u16) {
     b[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Tracked u16 write through a page-write guard (delta-loggable).
+fn put_u16(w: &mut crate::store::PageWrite<'_>, off: usize, v: u16) {
+    w.write_at(off, &v.to_le_bytes());
 }
 
 /// Offset of slot `i`'s directory entry in a page of `page_size` bytes.
@@ -339,18 +367,28 @@ impl RecordHeap {
         // per page that needs it — typically a handful of crash leftovers).
         for &pid in &inv.pages {
             let mut w = heap.store.write_page(pid, WriteIntent::Update)?;
-            let b = w.bytes_mut();
-            if !is_heap_page(b) {
+            let (sane, reusable, state) = {
+                let b = w.bytes();
+                if !is_heap_page(b) {
+                    (false, false, 0)
+                } else {
+                    (
+                        true,
+                        read_u16(b, 0) > 0 && freed_slots(b) > 0,
+                        read_u16(b, 10),
+                    )
+                }
+            };
+            if !sane {
                 continue; // raced nothing; sheer paranoia
             }
-            let reusable = read_u16(b, 0) > 0 && freed_slots(b) > 0;
             let want = if reusable {
                 STATE_QUEUED
             } else {
                 STATE_DETACHED
             };
-            if read_u16(b, 10) != want {
-                write_u16(b, 10, want);
+            if state != want {
+                put_u16(&mut w, 10, want);
                 w.commit()?;
             }
             if reusable {
@@ -467,9 +505,11 @@ impl RecordHeap {
             None => {
                 let t0 = Instant::now();
                 let g = shard.open.lock();
-                let stats = self.store.stats();
-                StoreStats::bump(&stats.heap_shard_contended);
-                StoreStats::add(&stats.heap_shard_wait_ns, t0.elapsed().as_nanos() as u64);
+                // Counted into the bucketed wait histogram too, so a
+                // windowed snapshot delta shows the tail, not just a sum.
+                self.store
+                    .stats()
+                    .record_heap_wait(t0.elapsed().as_nanos() as u64);
                 g
             }
         };
@@ -572,9 +612,9 @@ impl RecordHeap {
             }
             Err(e) => return Err(e),
         };
-        let b = w.bytes_mut();
-        let page_size = b.len();
+        let page_size = w.len();
         if adopt {
+            let b = w.bytes();
             if !is_heap_page(b) || read_u16(b, 10) != STATE_QUEUED {
                 return Ok(Placed::Stale); // reincarnated or already adopted
             }
@@ -586,32 +626,36 @@ impl RecordHeap {
                 return Ok(Placed::Stale);
             }
         }
-        let live = read_u16(b, 0);
-        let nslots = read_u16(b, 2);
-        let free_off = read_u16(b, 4) as usize;
+        let (live, nslots, free_off) = {
+            let b = w.bytes();
+            (read_u16(b, 0), read_u16(b, 2), read_u16(b, 4) as usize)
+        };
 
         // Best-fit over tombstoned slots (only when some exist).
         if nslots > live {
             let mut best: Option<(u16, usize, usize)> = None; // slot, off, cap
-            for slot in 0..nslots {
-                let so = slot_off(page_size, slot);
-                if read_u16(b, so + 4) != FREED {
-                    continue;
-                }
-                let cap = read_u16(b, so + 2) as usize;
-                if cap >= data.len() && best.is_none_or(|(_, _, bcap)| cap < bcap) {
-                    best = Some((slot, read_u16(b, so) as usize, cap));
+            {
+                let b = w.bytes();
+                for slot in 0..nslots {
+                    let so = slot_off(page_size, slot);
+                    if read_u16(b, so + 4) != FREED {
+                        continue;
+                    }
+                    let cap = read_u16(b, so + 2) as usize;
+                    if cap >= data.len() && best.is_none_or(|(_, _, bcap)| cap < bcap) {
+                        best = Some((slot, read_u16(b, so) as usize, cap));
+                    }
                 }
             }
             if let Some((slot, off, _)) = best {
-                b[off..off + data.len()].copy_from_slice(data);
+                w.write_at(off, data);
                 let so = slot_off(page_size, slot);
                 let gen = self.next_gen();
-                write_u16(b, so + 4, data.len() as u16);
-                write_u16(b, so + 6, gen);
-                write_u16(b, 0, live + 1);
+                put_u16(&mut w, so + 4, data.len() as u16);
+                put_u16(&mut w, so + 6, gen);
+                put_u16(&mut w, 0, live + 1);
                 if adopt {
-                    write_u16(b, 10, STATE_OPEN);
+                    put_u16(&mut w, 10, STATE_OPEN);
                 }
                 w.commit()?;
                 self.live.fetch_add(1, Ordering::Relaxed);
@@ -623,18 +667,18 @@ impl RecordHeap {
         // Bump allocation of a new slot.
         let dir_floor = page_size - SLOT * (nslots as usize + 1);
         if free_off + data.len() <= dir_floor && (nslots as usize) < (page_size / SLOT) {
-            b[free_off..free_off + data.len()].copy_from_slice(data);
+            w.write_at(free_off, data);
             let so = slot_off(page_size, nslots);
             let gen = self.next_gen();
-            write_u16(b, so, free_off as u16);
-            write_u16(b, so + 2, data.len() as u16); // cap
-            write_u16(b, so + 4, data.len() as u16); // len
-            write_u16(b, so + 6, gen);
-            write_u16(b, 0, live + 1);
-            write_u16(b, 2, nslots + 1);
-            write_u16(b, 4, (free_off + data.len()) as u16);
+            put_u16(&mut w, so, free_off as u16);
+            put_u16(&mut w, so + 2, data.len() as u16); // cap
+            put_u16(&mut w, so + 4, data.len() as u16); // len
+            put_u16(&mut w, so + 6, gen);
+            put_u16(&mut w, 0, live + 1);
+            put_u16(&mut w, 2, nslots + 1);
+            put_u16(&mut w, 4, (free_off + data.len()) as u16);
             if adopt {
-                write_u16(b, 10, STATE_OPEN);
+                put_u16(&mut w, 10, STATE_OPEN);
             }
             w.commit()?;
             self.live.fetch_add(1, Ordering::Relaxed);
@@ -648,20 +692,22 @@ impl RecordHeap {
     /// detached otherwise (a later `free` will re-enroll it).
     fn retire(&self, pid: PageId) -> Result<()> {
         let mut w = self.store.write_page(pid, WriteIntent::Update)?;
-        let b = w.bytes_mut();
-        if !is_heap_page(b) {
-            return Err(StoreError::Corrupt("open heap page lost its header"));
-        }
-        if read_u16(b, 0) == 0 {
-            drop(w); // rollback untouched; the page itself goes away
-            return self.release_page(pid);
-        }
-        let state = if freed_slots(b) > 0 {
-            STATE_QUEUED
-        } else {
-            STATE_DETACHED
+        let state = {
+            let b = w.bytes();
+            if !is_heap_page(b) {
+                return Err(StoreError::Corrupt("open heap page lost its header"));
+            }
+            if read_u16(b, 0) == 0 {
+                drop(w); // rollback untouched; the page itself goes away
+                return self.release_page(pid);
+            }
+            if freed_slots(b) > 0 {
+                STATE_QUEUED
+            } else {
+                STATE_DETACHED
+            }
         };
-        write_u16(b, 10, state);
+        put_u16(&mut w, 10, state);
         w.commit()?;
         if state == STATE_QUEUED {
             self.recycle.lock().push_back(pid);
@@ -748,12 +794,15 @@ impl RecordHeap {
                 .store
                 .write_page(rid.page(), WriteIntent::Update)
                 .map_err(Self::map_page_err(rid))?;
-            let b = w.bytes_mut();
-            match Self::slot_entry(b, rid) {
+            let page_size = w.len();
+            match Self::slot_entry(w.bytes(), rid) {
                 Ok((off, _, cap)) if data.len() <= cap => {
-                    b[off..off + data.len()].copy_from_slice(data);
-                    let so = slot_off(b.len(), rid.slot());
-                    write_u16(b, so + 4, data.len() as u16);
+                    w.write_at(off, data);
+                    put_u16(
+                        &mut w,
+                        slot_off(page_size, rid.slot()) + 4,
+                        data.len() as u16,
+                    );
                     w.commit()?;
                     return Ok(rid);
                 }
@@ -778,10 +827,11 @@ impl RecordHeap {
             .store
             .write_page(pid, WriteIntent::Update)
             .map_err(Self::map_page_err(rid))?;
-        let b = w.bytes_mut();
-        Self::slot_entry(b, rid)?;
-        let live = read_u16(b, 0) - 1;
-        let state = read_u16(b, 10);
+        let (live, state) = {
+            let b = w.bytes();
+            Self::slot_entry(b, rid)?;
+            (read_u16(b, 0) - 1, read_u16(b, 10))
+        };
         if live == 0 && state == STATE_DETACHED {
             // Whole page dead and in no pool: abandon the in-place edit
             // (the guard rolls back untouched) and release the page itself.
@@ -793,12 +843,12 @@ impl RecordHeap {
             self.live.fetch_sub(1, Ordering::Relaxed);
             return self.release_page(pid);
         }
-        let so = slot_off(b.len(), rid.slot());
-        write_u16(b, so + 4, FREED);
-        write_u16(b, 0, live);
+        let so = slot_off(w.len(), rid.slot());
+        put_u16(&mut w, so + 4, FREED);
+        put_u16(&mut w, 0, live);
         let enqueue = state == STATE_DETACHED;
         if enqueue {
-            write_u16(b, 10, STATE_QUEUED);
+            put_u16(&mut w, 10, STATE_QUEUED);
         }
         w.commit()?;
         self.live.fetch_sub(1, Ordering::Relaxed);

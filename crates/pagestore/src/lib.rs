@@ -48,9 +48,9 @@ pub use backend::{MemBackend, PageBackend};
 pub use clock::LogicalClock;
 pub use error::{Result, StoreError};
 pub use heap::{is_heap_page, HeapConfig, HeapInventory, RecordHeap, RecordId, HEAP_MAGIC};
-pub use journal::Journal;
-pub use page::{Page, PageId};
+pub use journal::{DeltaRange, Journal};
+pub use page::{page_lsn, set_page_lsn, Page, PageId, PAGE_LSN_LEN, PAGE_LSN_OFFSET};
 pub use reclaim::DeferredFreeList;
 pub use session::{Session, SessionRegistry, SessionStats};
-pub use stats::{StatsSnapshot, StoreStats};
+pub use stats::{StatsSnapshot, StoreStats, HEAP_WAIT_BUCKETS, HEAP_WAIT_BUCKET_EDGES_NS};
 pub use store::{PageRef, PageStore, PageWrite, StoreConfig, WriteIntent};

@@ -3,6 +3,38 @@
 use std::fmt;
 use std::num::NonZeroU32;
 
+/// Byte offset of the **per-page LSN** field inside pages written through
+/// the tracked-range API ([`crate::PageWrite::write_at`] /
+/// [`crate::PageWrite::tracked_mut`]).
+///
+/// Callers that opt into tracked (delta-loggable) writes promise that
+/// bytes `PAGE_LSN_OFFSET .. PAGE_LSN_OFFSET + PAGE_LSN_LEN` of their page
+/// layout are reserved for the store: after a tracked commit the store
+/// stamps the committed WAL record's LSN there, and recovery applies a
+/// delta record to a page iff `record.lsn > page_lsn(page)` — which is
+/// what makes delta replay idempotent against write-back races. Heap pages
+/// ([`crate::heap`]) reserve the field in their header, right after the
+/// magic/generation words. Pages written only through whole-page rewrites
+/// (tree nodes, prime blocks) never carry deltas and never reserve it.
+pub const PAGE_LSN_OFFSET: usize = 12;
+
+/// Width of the per-page LSN field ([`PAGE_LSN_OFFSET`]).
+pub const PAGE_LSN_LEN: usize = 8;
+
+/// Reads the per-page LSN of a page image (see [`PAGE_LSN_OFFSET`]).
+pub fn page_lsn(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(
+        bytes[PAGE_LSN_OFFSET..PAGE_LSN_OFFSET + PAGE_LSN_LEN]
+            .try_into()
+            .expect("page shorter than its LSN field"),
+    )
+}
+
+/// Stamps the per-page LSN of a page image (see [`PAGE_LSN_OFFSET`]).
+pub fn set_page_lsn(bytes: &mut [u8], lsn: u64) {
+    bytes[PAGE_LSN_OFFSET..PAGE_LSN_OFFSET + PAGE_LSN_LEN].copy_from_slice(&lsn.to_le_bytes());
+}
+
 /// Identifier of a page (a tree node or heap block). The paper's `nil`
 /// pointer is represented as `Option<PageId>::None`; on disk it is encoded as
 /// the raw value `0`, which is never a valid id.

@@ -7,6 +7,31 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of buckets in the heap shard-wait histogram.
+pub const HEAP_WAIT_BUCKETS: usize = 8;
+
+/// Upper edges (exclusive, nanoseconds) of the first
+/// `HEAP_WAIT_BUCKETS - 1` histogram buckets; the last bucket is open
+/// (≥ the final edge). Decades from 1µs to 1s: contended-but-fine waits
+/// land in the first few buckets, a tail in the last ones is the signal
+/// `exp14` prints.
+pub const HEAP_WAIT_BUCKET_EDGES_NS: [u64; HEAP_WAIT_BUCKETS - 1] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+fn heap_wait_bucket(ns: u64) -> usize {
+    HEAP_WAIT_BUCKET_EDGES_NS
+        .iter()
+        .position(|&edge| ns < edge)
+        .unwrap_or(HEAP_WAIT_BUCKETS - 1)
+}
+
 /// Counters maintained by a [`crate::PageStore`].
 #[derive(Debug, Default)]
 pub struct StoreStats {
@@ -50,6 +75,25 @@ pub struct StoreStats {
     pub pool_bypasses: AtomicU64,
     /// WAL records appended (journaled stores only).
     pub wal_records: AtomicU64,
+    /// Bytes appended to the WAL (record headers + payloads) — the
+    /// write-amplification numerator `exp15` divides by puts.
+    pub wal_bytes: AtomicU64,
+    /// Tracked page writes logged as v2 delta records.
+    pub wal_put_deltas: AtomicU64,
+    /// Page writes logged as full images (v1 puts and v2 base records).
+    pub wal_put_full_images: AtomicU64,
+    /// Tracked writes that fell back to a full image because the page had
+    /// no base record yet in the current checkpoint epoch (first touch).
+    pub wal_delta_fallback_first_touch: AtomicU64,
+    /// Tracked writes that fell back to a full image because the coalesced
+    /// delta would have exceeded the size cutoff (~half the page).
+    pub wal_delta_fallback_large: AtomicU64,
+    /// Group commits that skipped the batching window because no other
+    /// committer was in flight (the self-tuning fast path).
+    pub wal_group_solo_commits: AtomicU64,
+    /// Delta records recovery skipped because the on-disk page already
+    /// carried an LSN at or past the record's (idempotent replay).
+    pub recovery_deltas_skipped: AtomicU64,
     /// WAL fsync (sync_data) calls.
     pub wal_fsyncs: AtomicU64,
     /// Group-commit flushes (each durably commits a batch of records).
@@ -75,6 +119,11 @@ pub struct StoreStats {
     pub heap_shard_contended: AtomicU64,
     /// Total nanoseconds heap inserts spent waiting for a shard mutex.
     pub heap_shard_wait_ns: AtomicU64,
+    /// Fixed-bucket histogram of individual shard-mutex waits (bucket
+    /// edges in [`HEAP_WAIT_BUCKET_EDGES_NS`]). Snapshot deltas give a
+    /// *windowed* view — each measured interval's own distribution — so
+    /// `exp14` can report tail contention, not just the running sum.
+    pub heap_wait_hist: [AtomicU64; HEAP_WAIT_BUCKETS],
 }
 
 /// A point-in-time copy of [`StoreStats`], convenient for diffing.
@@ -98,6 +147,13 @@ pub struct StatsSnapshot {
     pub pins: u64,
     pub pool_bypasses: u64,
     pub wal_records: u64,
+    pub wal_bytes: u64,
+    pub wal_put_deltas: u64,
+    pub wal_put_full_images: u64,
+    pub wal_delta_fallback_first_touch: u64,
+    pub wal_delta_fallback_large: u64,
+    pub wal_group_solo_commits: u64,
+    pub recovery_deltas_skipped: u64,
     pub wal_fsyncs: u64,
     pub wal_group_commits: u64,
     pub wal_group_commit_records: u64,
@@ -108,6 +164,7 @@ pub struct StatsSnapshot {
     pub heap_double_frees: u64,
     pub heap_shard_contended: u64,
     pub heap_shard_wait_ns: u64,
+    pub heap_wait_hist: [u64; HEAP_WAIT_BUCKETS],
 }
 
 impl StoreStats {
@@ -120,6 +177,14 @@ impl StoreStats {
     /// Adds `v` to a counter.
     pub fn add(counter: &AtomicU64, v: u64) {
         counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records one heap shard-mutex wait: bumps the contended counter, the
+    /// running sum, and the wait histogram bucket for `ns`.
+    pub fn record_heap_wait(&self, ns: u64) {
+        StoreStats::bump(&self.heap_shard_contended);
+        StoreStats::add(&self.heap_shard_wait_ns, ns);
+        StoreStats::bump(&self.heap_wait_hist[heap_wait_bucket(ns)]);
     }
 
     /// Copies every counter.
@@ -143,6 +208,15 @@ impl StoreStats {
             pins: self.pins.load(Ordering::Relaxed),
             pool_bypasses: self.pool_bypasses.load(Ordering::Relaxed),
             wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            wal_put_deltas: self.wal_put_deltas.load(Ordering::Relaxed),
+            wal_put_full_images: self.wal_put_full_images.load(Ordering::Relaxed),
+            wal_delta_fallback_first_touch: self
+                .wal_delta_fallback_first_touch
+                .load(Ordering::Relaxed),
+            wal_delta_fallback_large: self.wal_delta_fallback_large.load(Ordering::Relaxed),
+            wal_group_solo_commits: self.wal_group_solo_commits.load(Ordering::Relaxed),
+            recovery_deltas_skipped: self.recovery_deltas_skipped.load(Ordering::Relaxed),
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             wal_group_commits: self.wal_group_commits.load(Ordering::Relaxed),
             wal_group_commit_records: self.wal_group_commit_records.load(Ordering::Relaxed),
@@ -153,6 +227,7 @@ impl StoreStats {
             heap_double_frees: self.heap_double_frees.load(Ordering::Relaxed),
             heap_shard_contended: self.heap_shard_contended.load(Ordering::Relaxed),
             heap_shard_wait_ns: self.heap_shard_wait_ns.load(Ordering::Relaxed),
+            heap_wait_hist: std::array::from_fn(|i| self.heap_wait_hist[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -179,6 +254,15 @@ impl StatsSnapshot {
             pins: self.pins - earlier.pins,
             pool_bypasses: self.pool_bypasses - earlier.pool_bypasses,
             wal_records: self.wal_records - earlier.wal_records,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            wal_put_deltas: self.wal_put_deltas - earlier.wal_put_deltas,
+            wal_put_full_images: self.wal_put_full_images - earlier.wal_put_full_images,
+            wal_delta_fallback_first_touch: self.wal_delta_fallback_first_touch
+                - earlier.wal_delta_fallback_first_touch,
+            wal_delta_fallback_large: self.wal_delta_fallback_large
+                - earlier.wal_delta_fallback_large,
+            wal_group_solo_commits: self.wal_group_solo_commits - earlier.wal_group_solo_commits,
+            recovery_deltas_skipped: self.recovery_deltas_skipped - earlier.recovery_deltas_skipped,
             wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
             wal_group_commits: self.wal_group_commits - earlier.wal_group_commits,
             wal_group_commit_records: self.wal_group_commit_records
@@ -190,7 +274,36 @@ impl StatsSnapshot {
             heap_double_frees: self.heap_double_frees - earlier.heap_double_frees,
             heap_shard_contended: self.heap_shard_contended - earlier.heap_shard_contended,
             heap_shard_wait_ns: self.heap_shard_wait_ns - earlier.heap_shard_wait_ns,
+            heap_wait_hist: std::array::from_fn(|i| {
+                self.heap_wait_hist[i] - earlier.heap_wait_hist[i]
+            }),
         }
+    }
+
+    /// Approximate percentile of the heap shard-wait distribution in this
+    /// snapshot (window), in nanoseconds: the upper edge of the bucket the
+    /// `p`-th percentile wait falls into (`u64::MAX` for the open last
+    /// bucket — report it as "≥ 1s"). Returns `None` when no waits were
+    /// recorded.
+    pub fn heap_wait_percentile_ns(&self, p: f64) -> Option<u64> {
+        let total: u64 = self.heap_wait_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.heap_wait_hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(
+                    HEAP_WAIT_BUCKET_EDGES_NS
+                        .get(i)
+                        .copied()
+                        .unwrap_or(u64::MAX),
+                );
+            }
+        }
+        Some(u64::MAX)
     }
 
     /// Live pages = allocations minus frees.
@@ -229,5 +342,27 @@ mod tests {
         assert_eq!(d.lock_wait_ns, 0);
         assert_eq!(b.lock_wait_ns, 500);
         assert_eq!(b.live_pages(), 1);
+    }
+
+    #[test]
+    fn heap_wait_histogram_buckets_and_percentiles() {
+        let s = StoreStats::default();
+        // 8 sub-µs waits, one 50µs wait, one 2s outlier.
+        for _ in 0..8 {
+            s.record_heap_wait(500);
+        }
+        s.record_heap_wait(50_000);
+        s.record_heap_wait(2_000_000_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.heap_shard_contended, 10);
+        assert_eq!(snap.heap_wait_hist[0], 8);
+        assert_eq!(snap.heap_wait_hist[2], 1); // 10µs..100µs
+        assert_eq!(snap.heap_wait_hist[HEAP_WAIT_BUCKETS - 1], 1);
+        assert_eq!(snap.heap_wait_percentile_ns(50.0), Some(1_000));
+        assert_eq!(snap.heap_wait_percentile_ns(90.0), Some(100_000));
+        assert_eq!(snap.heap_wait_percentile_ns(100.0), Some(u64::MAX));
+        // Windowing: a delta over a quiet interval is empty.
+        let later = s.snapshot();
+        assert_eq!(later.delta(&snap).heap_wait_percentile_ns(99.0), None);
     }
 }

@@ -39,12 +39,14 @@
 use crate::backend::{MemBackend, PageBackend};
 use crate::error::{Result, StoreError};
 use crate::journal::Journal;
+use crate::page::{page_lsn, set_page_lsn, PAGE_LSN_LEN, PAGE_LSN_OFFSET};
 use crate::page::{Page, PageId};
 use crate::pool::{BufferPool, Claim, Frame};
 use crate::session::Session;
 use crate::stats::StoreStats;
 use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::ops::Deref;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -61,6 +63,14 @@ pub struct StoreConfig {
     /// `0` disables the pool entirely: every access copies through the
     /// backend, which is the literal §2.2 model.
     pub pool_frames: usize,
+    /// Log tracked page writes as coalesced **delta records** when the
+    /// journal supports them (see [`crate::journal::Journal::log_put_delta`]).
+    /// `false` forces every put to a full page image — the write-amplified
+    /// baseline `exp15` measures against. Deltas require the buffer pool:
+    /// bypass commits (`pool_frames: 0`, or every frame pinned) always log
+    /// full images, since only the frame write latch serializes same-page
+    /// writers tightly enough for delta chains to be replay-exact.
+    pub delta_puts: bool,
 }
 
 impl Default for StoreConfig {
@@ -69,6 +79,7 @@ impl Default for StoreConfig {
             page_size: 4096,
             io_delay: None,
             pool_frames: 1024,
+            delta_puts: true,
         }
     }
 }
@@ -81,6 +92,36 @@ impl StoreConfig {
             ..StoreConfig::default()
         }
     }
+}
+
+/// Bridging distance for delta coalescing: two tracked ranges closer than
+/// this merge into one span. A bridged gap logs its (unchanged) bytes
+/// once, but saves a 4-byte range header and keeps replay sequential —
+/// heap writes (record bytes + a slot-directory entry + header words)
+/// typically collapse to 2–3 spans.
+const MERGE_GAP: usize = 16;
+
+/// Merges tracked dirty ranges into ascending, non-overlapping spans
+/// (bridging gaps up to [`MERGE_GAP`]).
+fn coalesce_ranges(ranges: &[(u32, u32)]) -> Vec<(usize, usize)> {
+    let mut sorted: Vec<(usize, usize)> = ranges
+        .iter()
+        .filter(|&&(_, len)| len > 0)
+        .map(|&(off, len)| (off as usize, len as usize))
+        .collect();
+    sorted.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(sorted.len());
+    for (off, len) in sorted {
+        if let Some(last) = out.last_mut() {
+            let last_end = last.0 + last.1;
+            if off <= last_end + MERGE_GAP {
+                last.1 = (off + len).max(last_end) - last.0;
+                continue;
+            }
+        }
+        out.push((off, len));
+    }
+    out
 }
 
 /// The paper's lock: exclusive among lockers, invisible to readers.
@@ -166,6 +207,26 @@ impl PaperLock {
 struct Slot {
     allocated: Mutex<bool>,
     lock: PaperLock,
+    /// Checkpoint epoch of the page's last full-image WAL record (a put or
+    /// an alloc — both let replay rebuild the page from scratch). A delta
+    /// record is only legal while this equals the store's current epoch:
+    /// the first write after a checkpoint (or after open) must log a full
+    /// image so recovery always finds a base to apply deltas over — which
+    /// is also what repairs torn page-file writes without full images on
+    /// every put. `0` means "no base yet". Read and written under the
+    /// slot's `allocated` latch (the same latch every journal append for
+    /// the page holds).
+    base_epoch: AtomicU64,
+}
+
+impl Slot {
+    fn new(allocated: bool) -> Arc<Slot> {
+        Arc::new(Slot {
+            allocated: Mutex::new(allocated),
+            lock: PaperLock::new(),
+            base_epoch: AtomicU64::new(0),
+        })
+    }
 }
 
 /// Zero-copy read access to a page, as returned by [`PageStore::read`].
@@ -252,6 +313,13 @@ pub struct PageWrite<'a> {
     store: &'a PageStore,
     pid: PageId,
     committed: bool,
+    /// Byte ranges dirtied through the tracked-write API (`off`, `len`).
+    /// Commit coalesces them into a delta record when the gates in
+    /// [`PageStore::log_page_write`] pass.
+    ranges: Vec<(u32, u32)>,
+    /// Set once [`PageWrite::bytes_mut`] handed out the whole page: the
+    /// ranges are no longer exhaustive, so commit logs a full image.
+    untracked: bool,
     inner: WriteInner<'a>,
 }
 
@@ -275,14 +343,54 @@ enum WriteInner<'a> {
 }
 
 impl PageWrite<'_> {
-    /// Mutable access to the page image being written.
+    /// Mutable access to the page image being written. Taking the whole
+    /// page marks the write **untracked**: commit logs a full image.
+    /// Callers that dirty only a few byte ranges should use
+    /// [`PageWrite::write_at`] / [`PageWrite::tracked_mut`] instead so the
+    /// commit can log a small delta record.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
+        self.untracked = true;
+        self.raw_mut()
+    }
+
+    fn raw_mut(&mut self) -> &mut [u8] {
         match &mut self.inner {
             WriteInner::Hit { guard, .. } | WriteInner::Miss { guard, .. } => {
                 guard.as_mut().expect("live guard")
             }
             WriteInner::Owned(p) => p.bytes_mut(),
         }
+    }
+
+    /// Mutable access to exactly `len` bytes at `off`, **recording the
+    /// range**: a commit whose every mutation went through this API can be
+    /// journaled as a coalesced delta record instead of a full page image.
+    ///
+    /// Tracked callers promise their page layout reserves
+    /// [`PAGE_LSN_OFFSET`]`..+`[`PAGE_LSN_LEN`] for the store's per-page
+    /// LSN (heap pages do, in their header); a tracked range must not
+    /// overlap it.
+    pub fn tracked_mut(&mut self, off: usize, len: usize) -> &mut [u8] {
+        self.note_range(off, len);
+        &mut self.raw_mut()[off..off + len]
+    }
+
+    /// Writes `data` at `off` through the tracked-range API (see
+    /// [`PageWrite::tracked_mut`]).
+    pub fn write_at(&mut self, off: usize, data: &[u8]) {
+        self.tracked_mut(off, data.len()).copy_from_slice(data);
+    }
+
+    fn note_range(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        debug_assert!(off + len <= self.len(), "tracked write past page end");
+        debug_assert!(
+            off + len <= PAGE_LSN_OFFSET || off >= PAGE_LSN_OFFSET + PAGE_LSN_LEN,
+            "tracked write overlaps the reserved page-LSN field"
+        );
+        self.ranges.push((off as u32, len as u32));
     }
 
     /// Read access to the (in-progress) image.
@@ -305,8 +413,10 @@ impl PageWrite<'_> {
         self.bytes().is_empty()
     }
 
-    /// Commits the new image: journal first (one WAL record, the commit
-    /// point), then publish. On error the page is left unchanged.
+    /// Commits the new image: journal first (one WAL record — a coalesced
+    /// delta when every mutation was tracked and the gates pass, else a
+    /// full image; either way the commit point), then publish. On error
+    /// the page is left unchanged.
     pub fn commit(mut self) -> Result<()> {
         let store = self.store;
         let pid = self.pid;
@@ -314,6 +424,11 @@ impl PageWrite<'_> {
         // Take the state out of `self` so Drop (committed = true) is a
         // no-op; all cleanup happens explicitly below.
         self.committed = true;
+        let tracked: Option<Vec<(u32, u32)>> = if self.untracked {
+            None
+        } else {
+            Some(std::mem::take(&mut self.ranges))
+        };
         let inner = std::mem::replace(&mut self.inner, WriteInner::Owned(Page::zeroed(0)));
         match inner {
             WriteInner::Hit {
@@ -328,11 +443,14 @@ impl PageWrite<'_> {
                     if !*allocated {
                         Err(StoreError::PageFreed(pid))
                     } else {
-                        store.log(|j| j.log_put(pid, bytes))
+                        store.log_page_write(pid, &slot, bytes, tracked.as_deref())
                     }
                 };
                 match r {
-                    Ok(()) => {
+                    Ok(lsn) => {
+                        if let Some(lsn) = lsn {
+                            set_page_lsn(guard.as_mut().expect("live guard"), lsn);
+                        }
                         frame
                             .dirty
                             .store(true, std::sync::atomic::Ordering::Release);
@@ -348,7 +466,11 @@ impl PageWrite<'_> {
                     }
                 }
             }
-            WriteInner::Miss { frame, idx, guard } => {
+            WriteInner::Miss {
+                frame,
+                idx,
+                mut guard,
+            } => {
                 let slot = store.slot(pid)?;
                 let r = {
                     let bytes = guard.as_ref().expect("live guard");
@@ -356,11 +478,14 @@ impl PageWrite<'_> {
                     if !*allocated {
                         Err(StoreError::PageFreed(pid))
                     } else {
-                        store.log(|j| j.log_put(pid, bytes))
+                        store.log_page_write(pid, &slot, bytes, tracked.as_deref())
                     }
                 };
                 match r {
-                    Ok(()) => {
+                    Ok(lsn) => {
+                        if let Some(lsn) = lsn {
+                            set_page_lsn(guard.as_mut().expect("live guard"), lsn);
+                        }
                         frame
                             .dirty
                             .store(true, std::sync::atomic::Ordering::Release);
@@ -379,6 +504,13 @@ impl PageWrite<'_> {
                     }
                 }
             }
+            // Bypass/pool-exhausted commits deliberately drop the tracked
+            // ranges and log a full image: an Owned staging buffer is not
+            // covered by the frame write latch, so two same-page bypass
+            // writers can interleave — last-writer-wins is only sound for
+            // whole images, never for merged delta chains. (Delta logging
+            // therefore needs the buffer pool; `pool_frames: 0` stores
+            // behave exactly like `delta_puts: false`.)
             WriteInner::Owned(page) => store.apply_full_write(pid, page.bytes()),
         }
     }
@@ -419,6 +551,10 @@ pub struct PageStore {
     pool: BufferPool,
     stats: Arc<StoreStats>,
     zero: Box<[u8]>,
+    /// Current checkpoint epoch (starts at 1; bumped by
+    /// [`PageStore::advance_checkpoint_epoch`]). A page whose
+    /// `Slot::base_epoch` lags this must log a full image before any delta.
+    epoch: AtomicU64,
 }
 
 impl PageStore {
@@ -451,10 +587,7 @@ impl PageStore {
         let mut slots = Vec::with_capacity(allocated.len());
         let mut free = Vec::new();
         for (i, &is_alloc) in allocated.iter().enumerate() {
-            slots.push(Arc::new(Slot {
-                allocated: Mutex::new(is_alloc),
-                lock: PaperLock::new(),
-            }));
+            slots.push(Slot::new(is_alloc));
             if !is_alloc {
                 free.push(PageId::from_index(i));
             }
@@ -468,6 +601,7 @@ impl PageStore {
             slots: RwLock::new(slots),
             free: Mutex::new(free),
             stats,
+            epoch: AtomicU64::new(1),
         }))
     }
 
@@ -594,6 +728,100 @@ impl PageStore {
         Ok(())
     }
 
+    /// Starts a new checkpoint epoch: the next journaled write of every
+    /// page logs a full image before any delta, so replay from the new
+    /// checkpoint never meets a delta without a base under it. Called by
+    /// the durable layer's checkpoint (quiescent stores only).
+    pub fn advance_checkpoint_epoch(&self) {
+        self.epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Marks `slot` as holding a full-image base record in the current
+    /// epoch (call after a successful full-image or alloc append, under
+    /// the slot's `allocated` latch).
+    fn note_base(&self, slot: &Slot) {
+        slot.base_epoch.store(
+            self.epoch.load(std::sync::atomic::Ordering::Relaxed),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    }
+
+    /// Journals one committed page write — the heart of the delta-record
+    /// path. Caller holds the frame's write latch and the slot's
+    /// `allocated` latch; `bytes` is the post-write image.
+    ///
+    /// Tracked writes (`ranges: Some`) are logged as a coalesced v2
+    /// **delta record** when every gate passes:
+    ///
+    /// * the journal speaks v2 and `StoreConfig::delta_puts` is on;
+    /// * the page has a base record in the current checkpoint epoch
+    ///   (first touch after a checkpoint or open logs a full image, which
+    ///   bounds recovery and repairs torn page-file writes);
+    /// * the encoded delta stays under half a page (beyond that the full
+    ///   image is cheaper to replay and barely bigger to log).
+    ///
+    /// Returns the LSN to stamp into the page's [`PAGE_LSN_OFFSET`] field
+    /// (`None` for v1 records, which carry no page LSN).
+    fn log_page_write(
+        &self,
+        pid: PageId,
+        slot: &Slot,
+        bytes: &[u8],
+        ranges: Option<&[(u32, u32)]>,
+    ) -> Result<Option<u64>> {
+        let Some(j) = &self.journal else {
+            return Ok(None);
+        };
+        // Delta records encode offsets as u16 and need room for the page
+        // LSN field, so very small and very large pages stay on v1.
+        let v2 = self.cfg.delta_puts
+            && j.supports_deltas()
+            && self.cfg.page_size <= 1 << 16
+            && self.cfg.page_size >= PAGE_LSN_OFFSET + PAGE_LSN_LEN;
+        let lsn = match ranges {
+            Some(ranges) if v2 => {
+                let coalesced = coalesce_ranges(ranges);
+                let encoded: usize = 15 + coalesced.iter().map(|&(_, len)| 4 + len).sum::<usize>();
+                let fresh_base = slot.base_epoch.load(std::sync::atomic::Ordering::Relaxed)
+                    == self.epoch.load(std::sync::atomic::Ordering::Relaxed);
+                if !fresh_base {
+                    StoreStats::bump(&self.stats.wal_delta_fallback_first_touch);
+                } else if encoded > self.cfg.page_size / 2 {
+                    StoreStats::bump(&self.stats.wal_delta_fallback_large);
+                }
+                if fresh_base && encoded <= self.cfg.page_size / 2 {
+                    let slices: Vec<(u16, &[u8])> = coalesced
+                        .iter()
+                        .map(|&(off, len)| (off as u16, &bytes[off..off + len]))
+                        .collect();
+                    let lsn = j.log_put_delta(pid, page_lsn(bytes), &slices)?;
+                    StoreStats::bump(&self.stats.wal_put_deltas);
+                    Some(lsn)
+                } else {
+                    let lsn = j.log_put_base(pid, bytes)?;
+                    StoreStats::bump(&self.stats.wal_put_full_images);
+                    self.note_base(slot);
+                    Some(lsn)
+                }
+            }
+            _ => {
+                j.log_put(pid, bytes)?;
+                StoreStats::bump(&self.stats.wal_put_full_images);
+                // A v1 image is replayed verbatim — including whatever the
+                // caller's bytes put in the reserved LSN field, which for
+                // an arbitrary page is garbage the delta gate must never
+                // trust. Drop the base: the next tracked write re-bases
+                // with a v2 record that stamps the field properly.
+                slot.base_epoch
+                    .store(0, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        };
+        StoreStats::bump(&self.stats.wal_records);
+        Ok(lsn)
+    }
+
     /// Allocates a zeroed page and returns its id. With a journal attached
     /// the allocation is logged (and committed) before it becomes visible;
     /// on a journal or backend error the page stays free.
@@ -613,6 +841,9 @@ impl PageStore {
                 self.free.lock().push(pid);
                 return Err(e);
             }
+            // The alloc record zeroes the page on replay — a valid base
+            // for delta records in this epoch.
+            self.note_base(&slot);
             // Publish only after the backend slot is zeroed: a pool loader
             // waiting on this latch must observe the zeroed image.
             *allocated = true;
@@ -628,18 +859,16 @@ impl PageStore {
             let mut slots = self.slots.write();
             let idx = slots.len();
             self.backend.grow(idx + 1)?;
-            slots.push(Arc::new(Slot {
-                allocated: Mutex::new(true),
-                lock: PaperLock::new(),
-            }));
+            slots.push(Slot::new(true));
             PageId::from_index(idx)
         };
+        let slot = self.slot(pid).expect("slot was just published");
         if let Err(e) = self.log(|j| j.log_alloc(pid)) {
-            let slot = self.slot(pid).expect("slot was just published");
             *slot.allocated.lock() = false;
             self.free.lock().push(pid);
             return Err(e);
         }
+        self.note_base(&slot);
         StoreStats::bump(&self.stats.allocs);
         Ok(pid)
     }
@@ -912,7 +1141,7 @@ impl PageStore {
                         frame.unpin();
                         return Err(StoreError::PageFreed(pid));
                     }
-                    let r = self.log(|j| j.log_put(pid, data));
+                    let r = self.log_page_write(pid, &slot, data, None).map(|_| ());
                     drop(allocated);
                     if let Err(e) = r {
                         drop(guard);
@@ -947,7 +1176,7 @@ impl PageStore {
                         if !*allocated {
                             Err(StoreError::PageFreed(pid))
                         } else {
-                            self.log(|j| j.log_put(pid, data))
+                            self.log_page_write(pid, &slot, data, None).map(|_| ())
                         }
                     };
                     if let Err(e) = r {
@@ -991,7 +1220,7 @@ impl PageStore {
         if self.pool.is_mapped(pid) {
             return Ok(false);
         }
-        self.log(|j| j.log_put(pid, data))?;
+        self.log_page_write(pid, slot, data, None)?;
         self.simulate_io();
         self.backend.write(pid.index(), data)?;
         Ok(true)
@@ -1039,6 +1268,10 @@ impl PageStore {
                         store: self,
                         pid,
                         committed: false,
+                        ranges: Vec::new(),
+                        // Overwrite pre-zeroed every byte outside the
+                        // tracker: only a full image can log it.
+                        untracked: intent == WriteIntent::Overwrite,
                         inner: WriteInner::Hit {
                             frame,
                             guard: Some(guard),
@@ -1090,6 +1323,8 @@ impl PageStore {
                         store: self,
                         pid,
                         committed: false,
+                        ranges: Vec::new(),
+                        untracked: intent == WriteIntent::Overwrite,
                         inner: WriteInner::Miss {
                             frame,
                             idx,
@@ -1126,6 +1361,8 @@ impl PageStore {
             store: self,
             pid,
             committed: false,
+            ranges: Vec::new(),
+            untracked: false,
             inner: WriteInner::Owned(page),
         })
     }
@@ -1448,6 +1685,7 @@ mod tests {
             page_size: 64,
             io_delay: Some(Duration::from_micros(200)),
             pool_frames: 0,
+            delta_puts: true,
         });
         let pid = store.alloc().unwrap();
         let t0 = Instant::now();
@@ -1511,6 +1749,7 @@ mod pool_tests {
             page_size: 64,
             io_delay: Some(Duration::from_micros(300)),
             pool_frames: 8,
+            delta_puts: true,
         });
         let pid = store.alloc().unwrap();
         // First get: miss (pays the delay and loads the frame); the rest hit.
@@ -1539,6 +1778,7 @@ mod pool_tests {
             page_size: 64,
             io_delay: None,
             pool_frames: 4,
+            delta_puts: true,
         });
         let pid = store.alloc().unwrap();
         let mut p = Page::zeroed(64);
@@ -1568,6 +1808,7 @@ mod pool_tests {
             page_size: 64,
             io_delay: None,
             pool_frames: 1,
+            delta_puts: true,
         });
         let a = store.alloc().unwrap();
         let b = store.alloc().unwrap();
@@ -1590,6 +1831,7 @@ mod pool_tests {
             page_size: 64,
             io_delay: None,
             pool_frames: 2,
+            delta_puts: true,
         });
         let a = store.alloc().unwrap();
         let b = store.alloc().unwrap();
@@ -1616,6 +1858,7 @@ mod pool_tests {
             page_size: 64,
             io_delay: None,
             pool_frames: 4,
+            delta_puts: true,
         });
         let pid = store.alloc().unwrap();
         store.get(pid).unwrap(); // resident now
@@ -1675,6 +1918,7 @@ mod pool_tests {
                 page_size: 64,
                 io_delay: None,
                 pool_frames: 1,
+                delta_puts: true,
             },
             backend,
             None,
@@ -1707,6 +1951,7 @@ mod pool_tests {
             page_size: 64,
             io_delay: None,
             pool_frames: 4,
+            delta_puts: true,
         });
         let pids: Vec<_> = (0..8).map(|_| store.alloc().unwrap()).collect();
         for pid in &pids {
@@ -1808,6 +2053,193 @@ mod journal_tests {
         drop(w);
         assert_eq!(j.puts.load(Ordering::Relaxed), 1);
         assert!(store.get(a).unwrap().bytes().iter().all(|&b| b == 5));
+    }
+
+    /// One recorded delta append: (pid, page_lsn, ranges).
+    type LoggedDelta = (u32, u64, Vec<(u16, Vec<u8>)>);
+
+    /// v2-capable mock: records every delta append (pid, page_lsn, ranges)
+    /// and hands out increasing LSNs.
+    #[derive(Debug, Default)]
+    struct DeltaMockJournal {
+        next_lsn: AtomicU64,
+        puts_v1: AtomicU64,
+        bases: AtomicU64,
+        deltas: Mutex<Vec<LoggedDelta>>,
+    }
+
+    impl Journal for DeltaMockJournal {
+        fn log_alloc(&self, _pid: PageId) -> Result<()> {
+            self.next_lsn.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn log_free(&self, _pid: PageId) -> Result<()> {
+            self.next_lsn.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn log_put(&self, _pid: PageId, _data: &[u8]) -> Result<()> {
+            self.next_lsn.fetch_add(1, Ordering::Relaxed);
+            self.puts_v1.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn supports_deltas(&self) -> bool {
+            true
+        }
+        fn log_put_base(&self, _pid: PageId, _data: &[u8]) -> Result<u64> {
+            self.bases.fetch_add(1, Ordering::Relaxed);
+            Ok(self.next_lsn.fetch_add(1, Ordering::Relaxed) + 1)
+        }
+        fn log_put_delta(
+            &self,
+            pid: PageId,
+            page_lsn: u64,
+            ranges: &[crate::journal::DeltaRange<'_>],
+        ) -> Result<u64> {
+            self.deltas.lock().push((
+                pid.to_raw(),
+                page_lsn,
+                ranges.iter().map(|&(o, b)| (o, b.to_vec())).collect(),
+            ));
+            Ok(self.next_lsn.fetch_add(1, Ordering::Relaxed) + 1)
+        }
+        fn sync(&self) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    fn delta_journaled(page_size: usize) -> (Arc<PageStore>, Arc<DeltaMockJournal>) {
+        let j = Arc::new(DeltaMockJournal::default());
+        let store = PageStore::with_parts(
+            StoreConfig::with_page_size(page_size),
+            Box::new(crate::backend::MemBackend::new(page_size)),
+            Some(Arc::clone(&j) as Arc<dyn Journal>),
+            Arc::new(StoreStats::default()),
+            &[],
+        )
+        .unwrap();
+        (store, j)
+    }
+
+    #[test]
+    fn tracked_writes_log_coalesced_deltas_and_stamp_the_page_lsn() {
+        let (store, j) = delta_journaled(256);
+        let a = store.alloc().unwrap(); // alloc is this epoch's base
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(40, &[1, 2, 3, 4]);
+        w.write_at(46, &[9; 2]); // gap of 2 -> coalesces with the first
+        w.write_at(200, &[7; 8]);
+        w.commit().unwrap();
+        let deltas = j.deltas.lock();
+        assert_eq!(deltas.len(), 1, "one tracked commit, one delta record");
+        let (pid, page_lsn, ranges) = &deltas[0];
+        assert_eq!(*pid, a.to_raw());
+        assert_eq!(*page_lsn, 0, "fresh page had no LSN yet");
+        assert_eq!(
+            ranges
+                .iter()
+                .map(|(o, b)| (*o, b.len()))
+                .collect::<Vec<_>>(),
+            vec![(40, 8), (200, 8)],
+            "adjacent ranges coalesce; distant ones stay separate"
+        );
+        assert_eq!(&ranges[0].1[..4], &[1, 2, 3, 4]);
+        drop(deltas);
+        // The record's LSN was stamped into the page's reserved field.
+        let g = store.read(a).unwrap();
+        assert!(page_lsn_of(&g) > 0);
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.wal_put_deltas, 1);
+        assert_eq!(snap.wal_put_full_images, 0);
+    }
+
+    fn page_lsn_of(bytes: &[u8]) -> u64 {
+        crate::page::page_lsn(bytes)
+    }
+
+    #[test]
+    fn first_touch_after_epoch_advance_falls_back_to_a_full_image() {
+        let (store, j) = delta_journaled(256);
+        let a = store.alloc().unwrap();
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(40, &[1; 4]);
+        w.commit().unwrap();
+        assert_eq!(j.deltas.lock().len(), 1);
+        // Checkpoint: the next tracked write must re-base.
+        store.advance_checkpoint_epoch();
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(40, &[2; 4]);
+        w.commit().unwrap();
+        assert_eq!(j.deltas.lock().len(), 1, "no delta without a fresh base");
+        assert_eq!(j.bases.load(Ordering::Relaxed), 1);
+        // With the base in place, deltas resume.
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(40, &[3; 4]);
+        w.commit().unwrap();
+        assert_eq!(j.deltas.lock().len(), 2);
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.wal_delta_fallback_first_touch, 1);
+    }
+
+    #[test]
+    fn large_tracked_writes_fall_back_to_full_images() {
+        let (store, j) = delta_journaled(256);
+        let a = store.alloc().unwrap(); // base via alloc
+                                        // A tracked write dirtying most of the page: full-image fallback.
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(20, &[6; 200]);
+        w.commit().unwrap();
+        assert!(j.deltas.lock().is_empty());
+        assert_eq!(j.bases.load(Ordering::Relaxed), 1);
+        assert_eq!(store.stats().snapshot().wal_delta_fallback_large, 1);
+        // A small tracked write now rides on that base as a delta.
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(20, &[7; 4]);
+        w.commit().unwrap();
+        assert_eq!(j.deltas.lock().len(), 1);
+    }
+
+    #[test]
+    fn untracked_images_cannot_anchor_deltas() {
+        // A v1 full image replays verbatim — its bytes at the reserved
+        // LSN offset are caller data, not an LSN — so the write after it
+        // must re-base with a v2 record before deltas resume.
+        let (store, j) = delta_journaled(256);
+        let a = store.alloc().unwrap();
+        let mut w = store.write_page(a, WriteIntent::Overwrite).unwrap();
+        w.bytes_mut().fill(5); // puts 0x0505.. in the LSN field
+        w.commit().unwrap();
+        assert_eq!(j.puts_v1.load(Ordering::Relaxed), 1);
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(40, &[6; 4]);
+        w.commit().unwrap();
+        assert!(j.deltas.lock().is_empty(), "no delta on a garbage field");
+        assert_eq!(j.bases.load(Ordering::Relaxed), 1);
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(40, &[7; 4]);
+        w.commit().unwrap();
+        assert_eq!(j.deltas.lock().len(), 1, "deltas resume on the v2 base");
+    }
+
+    #[test]
+    fn delta_puts_config_off_forces_v1_full_images() {
+        let j = Arc::new(DeltaMockJournal::default());
+        let store = PageStore::with_parts(
+            StoreConfig {
+                delta_puts: false,
+                ..StoreConfig::with_page_size(256)
+            },
+            Box::new(crate::backend::MemBackend::new(256)),
+            Some(Arc::clone(&j) as Arc<dyn Journal>),
+            Arc::new(StoreStats::default()),
+            &[],
+        )
+        .unwrap();
+        let a = store.alloc().unwrap();
+        let mut w = store.write_page(a, WriteIntent::Update).unwrap();
+        w.write_at(40, &[1; 4]);
+        w.commit().unwrap();
+        assert!(j.deltas.lock().is_empty());
+        assert_eq!(j.puts_v1.load(Ordering::Relaxed), 1);
     }
 
     #[test]

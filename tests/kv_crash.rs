@@ -114,13 +114,21 @@ fn crash_point_matrix_over_a_mixed_kv_run() {
     const KEYS: u64 = 48;
     let dir = tmpdir("matrix");
 
-    // Phase A: count the WAL records of the whole run, fault-free.
+    // Phase A: count the WAL records of the whole run, fault-free — and
+    // prove the run logs delta records, so the matrix below crashes on
+    // every *delta* boundary too (the PR 5 record family).
     let total_records = {
         let db = Db::open(cfg(&dir)).unwrap();
-        let before = db.store().stats().snapshot().wal_records;
+        let before = db.store().stats().snapshot();
         let (_, inflight) = run_until_crash(&db, OPS, KEYS);
         assert_eq!(inflight, None, "fault-free run must not fail");
-        db.store().stats().snapshot().wal_records - before
+        let d = db.store().stats().snapshot().delta(&before);
+        assert!(
+            d.wal_put_deltas > 50,
+            "the mixed run must exercise the delta-record path (got {})",
+            d.wal_put_deltas
+        );
+        d.wal_records
     };
     std::fs::remove_dir_all(&dir).unwrap();
     assert!(
@@ -283,6 +291,71 @@ fn crashes_at_arbitrary_boundaries_of_a_large_run() {
         drop(db);
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+/// A crash can also tear the *bytes* of the final record, not just drop
+/// whole records: physically truncate the last WAL segment mid-record —
+/// the final record being a known in-place overwrite, i.e. a delta — and
+/// recovery must discard the torn delta, keep every earlier commit, and
+/// read back the pre-overwrite value.
+#[test]
+fn torn_final_delta_record_is_discarded() {
+    let dir = tmpdir("torndelta");
+    const PRELOAD: u64 = 64;
+    {
+        let db = Db::open(cfg(&dir)).unwrap();
+        let mut s = db.session();
+        for k in 0..PRELOAD {
+            s.put(k, &[0xAA; 24]).unwrap();
+        }
+        // Same-size overwrite: rewrites the record in place, one delta
+        // record, no index write — the last record in the log.
+        let before = db.store().stats().snapshot().wal_put_deltas;
+        s.put(7, &[0xBB; 24]).unwrap();
+        assert_eq!(
+            db.store().stats().snapshot().wal_put_deltas,
+            before + 1,
+            "the overwrite must have logged exactly one delta"
+        );
+        drop(s);
+        // No sync: the overwrite lives only in the log + frame.
+    }
+    // Tear the delta: chop a few bytes off the last segment.
+    let last_seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .max()
+        .expect("a wal segment");
+    let len = std::fs::metadata(&last_seg).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&last_seg)
+        .unwrap()
+        .set_len(len - 5)
+        .unwrap();
+
+    let db = Db::open(cfg(&dir)).unwrap();
+    assert!(
+        db.durable().unwrap().recovery().torn_tail,
+        "recovery must notice the torn record"
+    );
+    db.verify().unwrap().assert_ok();
+    let mut s = db.session();
+    assert_eq!(
+        s.get(7).unwrap().unwrap(),
+        vec![0xAA; 24],
+        "the torn overwrite must roll back to the committed value"
+    );
+    for k in 0..PRELOAD {
+        assert!(s.get(k).unwrap().is_some(), "key {k} lost");
+    }
+    // The store keeps working (and keeps logging deltas) after the trim.
+    s.put(7, &[0xCC; 24]).unwrap();
+    assert_eq!(s.get(7).unwrap().unwrap(), vec![0xCC; 24]);
+    drop(s);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
