@@ -60,12 +60,13 @@ fn run_one(mix: Mix, delay: Option<Duration>, pool_frames: usize, part: &'static
     };
     let r = run_workload(&tree, &cfg);
     assert_eq!(r.errors, 0);
+    let ops_per_sec = r.ops_per_sec();
     let d = r.store_delta;
     Record {
         part,
         mix: mix.label(),
         pool_frames,
-        ops_per_sec: r.ops_per_sec(),
+        ops_per_sec,
         hit_rate: d.hit_rate(),
         frames_evicted: d.frames_evicted,
         dirty_writebacks: d.dirty_writebacks,

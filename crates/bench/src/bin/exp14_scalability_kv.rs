@@ -43,6 +43,8 @@ struct Record {
     p50_put_us: f64,
     heap_contended: u64,
     heap_wait_ms: f64,
+    heap_wait_p50_us: f64,
+    heap_wait_p99_us: f64,
     heap_wait_p99: String,
     slots_reused: u64,
     pages_recycled: u64,
@@ -77,6 +79,8 @@ fn run_one(db: &Arc<Db>, cfg: &KvRunConfig, part: &'static str) -> Record {
         p50_put_us: r.put_lat.percentile(50.0) as f64 / 1_000.0,
         heap_contended: r.store.heap_shard_contended,
         heap_wait_ms: r.heap_wait_ms(),
+        heap_wait_p50_us: r.heap_wait_percentile_us(50.0).unwrap_or(0.0),
+        heap_wait_p99_us: r.heap_wait_percentile_us(99.0).unwrap_or(0.0),
         heap_wait_p99: tail_label(r.heap_wait_percentile_us(99.0)),
         slots_reused: r.store.heap_slots_reused,
         pages_recycled: r.store.heap_pages_recycled,
@@ -84,13 +88,12 @@ fn run_one(db: &Arc<Db>, cfg: &KvRunConfig, part: &'static str) -> Record {
     }
 }
 
-/// Formats a windowed-histogram tail percentile for tables/JSON
-/// (bucket upper edge; "-" when the window saw no contention).
+/// Formats a windowed-histogram percentile for tables ("-" when the
+/// window saw no contention).
 fn tail_label(p: Option<f64>) -> String {
     match p {
         None => "-".into(),
-        Some(us) if us.is_infinite() => ">=1s".into(),
-        Some(us) => format!("<={us:.0}us"),
+        Some(us) => format!("{us:.0}us"),
     }
 }
 
@@ -119,6 +122,7 @@ fn main() {
             "p50 put µs",
             "heap waits",
             "heap wait ms",
+            "wait p50",
             "wait p99",
         ]);
         for &n in threads {
@@ -133,6 +137,7 @@ fn main() {
                 format!("{:.1}", rec.p50_put_us),
                 rec.heap_contended.to_string(),
                 format!("{:.2}", rec.heap_wait_ms),
+                tail_label((rec.heap_wait_p50_us > 0.0).then_some(rec.heap_wait_p50_us)),
                 rec.heap_wait_p99.clone(),
             ]);
             records.push(rec);
@@ -152,6 +157,7 @@ fn main() {
         "ops/s",
         "heap waits",
         "heap wait ms",
+        "wait p50",
         "wait p99",
         "waits/op",
     ]);
@@ -168,6 +174,7 @@ fn main() {
             format!("{:.0}", rec.ops_per_sec),
             rec.heap_contended.to_string(),
             format!("{:.2}", rec.heap_wait_ms),
+            tail_label((rec.heap_wait_p50_us > 0.0).then_some(rec.heap_wait_p50_us)),
             rec.heap_wait_p99.clone(),
             format!(
                 "{:.4}",
@@ -238,7 +245,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"part\": \"{}\", \"mix\": \"{}\", \"threads\": {}, \"shards\": {}, \
              \"ops_per_sec\": {:.1}, \"p50_put_us\": {:.2}, \"heap_shard_contended\": {}, \
-             \"heap_wait_ms\": {:.3}, \"heap_wait_p99\": \"{}\", \"slots_reused\": {}, \
+             \"heap_wait_ms\": {:.3}, \"heap_wait_p50_us\": {:.2}, \
+             \"heap_wait_p99_us\": {:.2}, \"heap_wait_p99\": \"{}\", \"slots_reused\": {}, \
              \"pages_recycled\": {}, \"heap_pages\": {}}}{}\n",
             r.part,
             r.mix,
@@ -248,6 +256,8 @@ fn main() {
             r.p50_put_us,
             r.heap_contended,
             r.heap_wait_ms,
+            r.heap_wait_p50_us,
+            r.heap_wait_p99_us,
             r.heap_wait_p99,
             r.slots_reused,
             r.pages_recycled,

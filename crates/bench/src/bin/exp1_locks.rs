@@ -5,14 +5,44 @@
 //! locks**; a **compression process locks three nodes simultaneously**;
 //! top-down solutions lock every node on the path, readers included.
 //!
-//! Regenerates the E1 table of EXPERIMENTS.md.
+//! Regenerates the E1 table of EXPERIMENTS.md, now with the *waiting*
+//! half of the claim: lock counts say how often each algorithm locks, the
+//! windowed per-layer wait histograms (paper locks and rw-locks) say how
+//! long contended acquisitions actually stalled — p50/p99, not just sums.
+//! Emits `BENCH_locks.json`.
 
 use blink_baselines::ConcurrentIndex;
 use blink_bench::{banner, lehman_yao, sagiv, scale, topdown};
+use blink_harness::hist::{fmt_ns, Histogram};
 use blink_harness::runner::{run_workload, RunConfig};
 use blink_harness::Table;
+use blink_pagestore::StatsSnapshot;
 use blink_workload::{KeyDist, Mix};
+use std::io::Write;
 use std::sync::Arc;
+
+/// Combined contended-wait distribution of the paper's queue locks and
+/// the baselines' rw-locks over one measured phase.
+fn wait_hist(d: &StatsSnapshot) -> Histogram {
+    let mut h = d.hist("lock_wait_hist").cloned().unwrap_or_default();
+    if let Some(rw) = d.hist("rw_wait_hist") {
+        h.merge(rw);
+    }
+    h
+}
+
+/// `"p50/p99"` cell for a wait histogram ("-" when never contended).
+fn wait_label(h: &Histogram) -> String {
+    if h.count() == 0 {
+        "-".into()
+    } else {
+        format!(
+            "{}/{}",
+            fmt_ns(h.percentile(50.0)),
+            fmt_ns(h.percentile(99.0))
+        )
+    }
+}
 
 fn phase(index: &Arc<dyn ConcurrentIndex>, mix: Mix, preload: u64) -> blink_harness::RunResult {
     let cfg = RunConfig {
@@ -41,8 +71,19 @@ fn main() {
         "locks/op",
         "mean simult.",
         "max simult.",
+        "waits",
+        "wait p50/p99",
         "paper bound",
     ]);
+    struct Row {
+        algorithm: String,
+        operation: &'static str,
+        locks_per_op: f64,
+        waits: u64,
+        wait_p50_ns: u64,
+        wait_p99_ns: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
 
     let trees: Vec<(Arc<dyn ConcurrentIndex>, [&str; 3])> = vec![
         (sagiv(k), ["1", "0", "1"]),
@@ -70,14 +111,25 @@ fn main() {
                 scale(100_000)
             };
             let r = phase(index, mix, preload);
+            let waits = wait_hist(&r.store_delta);
             table.row(vec![
                 index.name().to_string(),
                 op_name.to_string(),
                 format!("{:.2}", r.locks_per_op()),
                 format!("{:.2}", r.sessions.mean_simultaneous_locks()),
                 format!("{}", r.sessions.max_simultaneous_locks),
+                waits.count().to_string(),
+                wait_label(&waits),
                 bound.to_string(),
             ]);
+            rows.push(Row {
+                algorithm: index.name().to_string(),
+                operation: op_name,
+                locks_per_op: r.locks_per_op(),
+                waits: waits.count(),
+                wait_p50_ns: waits.percentile(50.0),
+                wait_p99_ns: waits.percentile(99.0),
+            });
         }
     }
 
@@ -97,7 +149,9 @@ fn main() {
         );
     }
     let mut worker = t.session();
+    let drain_before = t.store().stats().snapshot();
     t.compress_drain(&mut worker, 1_000_000).unwrap();
+    let drain_waits = wait_hist(&t.store().stats().snapshot().delta(&drain_before));
     let st = worker.stats();
     table.row(vec![
         "sagiv".to_string(),
@@ -105,13 +159,45 @@ fn main() {
         format!("{:.2}", st.locks_acquired as f64 / st.ops.max(1) as f64),
         format!("{:.2}", st.mean_simultaneous_locks()),
         format!("{}", st.max_simultaneous_locks),
+        drain_waits.count().to_string(),
+        wait_label(&drain_waits),
         "3".to_string(),
     ]);
+    rows.push(Row {
+        algorithm: "sagiv".to_string(),
+        operation: "compress",
+        locks_per_op: st.locks_acquired as f64 / st.ops.max(1) as f64,
+        waits: drain_waits.count(),
+        wait_p50_ns: drain_waits.percentile(50.0),
+        wait_p99_ns: drain_waits.percentile(99.0),
+    });
 
     print!("{table}");
     println!();
     println!(
         "note: top-down 'locks/op' counts shared+exclusive rw-locks (prime block + one per \
-         level); Sagiv/Lehman-Yao searches acquire none by design."
+         level); Sagiv/Lehman-Yao searches acquire none by design. the wait columns are \
+         contended acquisitions only — an uncontended lock records nothing."
     );
+
+    let mut json = String::from("{\n  \"bench\": \"locks\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"operation\": \"{}\", \"locks_per_op\": {:.3}, \
+             \"waits\": {}, \"wait_p50_ns\": {}, \"wait_p99_ns\": {}}}{}\n",
+            r.algorithm,
+            r.operation,
+            r.locks_per_op,
+            r.waits,
+            r.wait_p50_ns,
+            r.wait_p99_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_locks.json";
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
 }

@@ -5,6 +5,8 @@
 //! records paper-vs-measured in EXPERIMENTS.md. Set `QUICK=1` to shrink the
 //! workloads ~10× for smoke runs.
 
+pub mod json;
+
 use blink_baselines::{ConcurrentIndex, LehmanYaoTree, TopDownTree};
 use blink_pagestore::{PageStore, StoreConfig};
 use sagiv_blink::{BLinkTree, TreeConfig, UnderflowPolicy};

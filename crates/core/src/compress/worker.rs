@@ -321,7 +321,7 @@ impl BLinkTree {
                 }
             }
             if item.high > node.high {
-                session.note_link_follow();
+                self.note_link(session);
                 current = node.link.expect("finite high value implies a link");
                 continue;
             }

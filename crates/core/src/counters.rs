@@ -4,6 +4,7 @@
 //! experiments report both (e.g. E3 tracks merges/redistributes over time,
 //! E4 correlates restarts with compression events).
 
+use blink_pagestore::WaitHist;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Relaxed atomic counters for structural events.
@@ -34,6 +35,18 @@ pub struct TreeCounters {
     /// Structural repairs run by [`crate::tree::BLinkTree::open_or_recover`]
     /// (0 when every shutdown was clean).
     pub recoveries: AtomicU64,
+    /// Traversal restarts across every session (tree-wide; the per-session
+    /// `SessionStats::restarts` only covers one worker's ops).
+    pub restarts: AtomicU64,
+    /// Link follows across every session (tree-wide counterpart of
+    /// `SessionStats::link_follows` — the paper's "extra page reads").
+    pub link_follows: AtomicU64,
+    /// Scan cursor leaf hops (each [`crate::scan::Scan`] `fill`).
+    pub scan_hops: AtomicU64,
+    /// Latency of each scan leaf hop (link follow or re-descent plus
+    /// harvest). Not part of [`CountersSnapshot`] (which stays `Copy`);
+    /// read it via `counters().scan_hop_hist.snapshot()`.
+    pub scan_hop_hist: WaitHist,
 }
 
 /// Point-in-time copy of [`TreeCounters`].
@@ -50,6 +63,9 @@ pub struct CountersSnapshot {
     pub waits: u64,
     pub reclaimed: u64,
     pub recoveries: u64,
+    pub restarts: u64,
+    pub link_follows: u64,
+    pub scan_hops: u64,
 }
 
 impl TreeCounters {
@@ -75,6 +91,9 @@ impl TreeCounters {
             waits: self.waits.load(Ordering::Relaxed),
             reclaimed: self.reclaimed.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            link_follows: self.link_follows.load(Ordering::Relaxed),
+            scan_hops: self.scan_hops.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +113,9 @@ impl CountersSnapshot {
             waits: self.waits - earlier.waits,
             reclaimed: self.reclaimed - earlier.reclaimed,
             recoveries: self.recoveries - earlier.recoveries,
+            restarts: self.restarts - earlier.restarts,
+            link_follows: self.link_follows - earlier.link_follows,
+            scan_hops: self.scan_hops - earlier.scan_hops,
         }
     }
 }

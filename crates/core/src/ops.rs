@@ -44,7 +44,7 @@ impl BLinkTree {
             match d.node.next(v) {
                 Next::Here => return Ok(d.node.leaf_get(v)),
                 Next::Link(l) => {
-                    session.note_link_follow();
+                    self.note_link(session);
                     let mut cur = l;
                     match self.step_node(session, &mut cur, 0)? {
                         Some(n) if !n.wrong_node(v) => {
@@ -52,7 +52,7 @@ impl BLinkTree {
                             d.node = n;
                         }
                         _ => {
-                            budget.restart(session)?;
+                            budget.restart(session, &self.counters)?;
                             d = self.descend(session, v, 0, false, &mut budget)?;
                         }
                     }

@@ -26,6 +26,7 @@
 //! [`BLinkTree::scan`], bundles tree + session into a plain `Iterator` and
 //! brackets the logical operation for §5.3 reclamation.
 
+use crate::counters::TreeCounters;
 use crate::error::Result;
 use crate::key::{Bound, Key};
 use crate::node::{Next, Node};
@@ -91,18 +92,28 @@ impl Scan {
     /// Advances to the leaf covering `self.cursor`, harvests its matching
     /// pairs into `buf`, and moves the cursor past it. The page reference
     /// taken for the leaf is released before returning (re-latching per
-    /// leaf).
+    /// leaf). Each hop's latency lands in the tree's scan-hop histogram.
     fn fill(&mut self, tree: &BLinkTree, session: &mut Session) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        let r = self.fill_inner(tree, session);
+        TreeCounters::bump(&tree.counters.scan_hops);
+        tree.counters
+            .scan_hop_hist
+            .record(t0.elapsed().as_nanos() as u64);
+        r
+    }
+
+    fn fill_inner(&mut self, tree: &BLinkTree, session: &mut Session) -> Result<()> {
         // Reach a node at the leaf level: over the previous leaf's link
         // when possible, else by descending from the root at the cursor.
         let mut d = match self.next_link.take() {
             Some(link) => {
-                session.note_link_follow();
+                tree.note_link(session);
                 let mut cur = link;
                 match tree.step_node(session, &mut cur, 0)? {
                     Some(node) => (cur, node),
                     None => {
-                        self.budget.restart(session)?;
+                        self.budget.restart(session, &tree.counters)?;
                         let d = tree.descend(session, self.cursor, 0, false, &mut self.budget)?;
                         (d.pid, d.node)
                     }
@@ -117,7 +128,7 @@ impl Scan {
         // data moved left past us — forces a restart).
         loop {
             if d.1.wrong_node(self.cursor) {
-                self.budget.restart(session)?;
+                self.budget.restart(session, &tree.counters)?;
                 let nd = tree.descend(session, self.cursor, 0, false, &mut self.budget)?;
                 d = (nd.pid, nd.node);
                 continue;
@@ -125,12 +136,12 @@ impl Scan {
             match d.1.next(self.cursor) {
                 Next::Here => break,
                 Next::Link(l) => {
-                    session.note_link_follow();
+                    tree.note_link(session);
                     let mut cur = l;
                     match tree.step_node(session, &mut cur, 0)? {
                         Some(node) => d = (cur, node),
                         None => {
-                            self.budget.restart(session)?;
+                            self.budget.restart(session, &tree.counters)?;
                             let nd =
                                 tree.descend(session, self.cursor, 0, false, &mut self.budget)?;
                             d = (nd.pid, nd.node);

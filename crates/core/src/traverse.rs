@@ -22,6 +22,7 @@
 //! traversal takes another step — so holding no locks also means holding
 //! no pins across waits.
 
+use crate::counters::TreeCounters;
 use crate::error::{Result, TreeError};
 use crate::key::{Bound, Key};
 use crate::node::{Next, Node};
@@ -43,9 +44,11 @@ impl Budget {
         }
     }
 
-    /// Records a restart; errors out once the budget is exhausted.
-    pub(crate) fn restart(&mut self, session: &mut Session) -> Result<()> {
+    /// Records a restart (on the session and tree-wide); errors out once
+    /// the budget is exhausted.
+    pub(crate) fn restart(&mut self, session: &mut Session, counters: &TreeCounters) -> Result<()> {
         session.note_restart();
+        TreeCounters::bump(&counters.restarts);
         if self.left == 0 {
             return Err(TreeError::TooManyRestarts {
                 attempts: self.total,
@@ -114,7 +117,7 @@ impl BLinkTree {
             let prime = self.read_prime()?;
             if prime.height <= u32::from(target_level) {
                 // Target level does not exist yet (§3.3): wait and re-read.
-                budget.restart(session)?;
+                budget.restart(session, &self.counters)?;
                 self.bounded_wait(0);
                 continue 'restart;
             }
@@ -123,11 +126,11 @@ impl BLinkTree {
             let mut stack = Vec::new();
             loop {
                 let Some(node) = self.step_node(session, &mut current, expected_level)? else {
-                    budget.restart(session)?;
+                    budget.restart(session, &self.counters)?;
                     continue 'restart;
                 };
                 if node.wrong_node(v) {
-                    budget.restart(session)?;
+                    budget.restart(session, &self.counters)?;
                     continue 'restart;
                 }
                 if expected_level == target_level {
@@ -139,7 +142,7 @@ impl BLinkTree {
                 }
                 match node.next(v) {
                     Next::Link(l) => {
-                        session.note_link_follow();
+                        self.note_link(session);
                         current = l;
                     }
                     Next::Child(c) => {
@@ -210,7 +213,7 @@ impl BLinkTree {
                 Some(n) => n,
                 None => {
                     self.store.unlock(current, session);
-                    budget.restart(session)?;
+                    budget.restart(session, &self.counters)?;
                     current = self.descend(session, v, level, false, budget)?.pid;
                     continue;
                 }
@@ -223,7 +226,7 @@ impl BLinkTree {
                         current = t;
                     }
                     None => {
-                        budget.restart(session)?;
+                        budget.restart(session, &self.counters)?;
                         current = self.descend(session, v, level, false, budget)?.pid;
                     }
                 }
@@ -231,7 +234,7 @@ impl BLinkTree {
             }
             if node.level != level || node.wrong_node(v) {
                 self.store.unlock(current, session);
-                budget.restart(session)?;
+                budget.restart(session, &self.counters)?;
                 current = self.descend(session, v, level, false, budget)?.pid;
                 continue;
             }
@@ -242,7 +245,7 @@ impl BLinkTree {
                     .link
                     .expect("node with finite high value must have a link");
                 self.store.unlock(current, session);
-                session.note_link_follow();
+                self.note_link(session);
                 current = link;
                 continue;
             }
@@ -269,13 +272,14 @@ mod tests {
         let mut s = t.session();
         s.begin_op();
         let mut b = Budget::new(2);
-        assert!(b.restart(&mut s).is_ok());
-        assert!(b.restart(&mut s).is_ok());
-        match b.restart(&mut s) {
+        assert!(b.restart(&mut s, t.counters()).is_ok());
+        assert!(b.restart(&mut s, t.counters()).is_ok());
+        match b.restart(&mut s, t.counters()) {
             Err(TreeError::TooManyRestarts { attempts }) => assert_eq!(attempts, 2),
             other => panic!("expected TooManyRestarts, got {other:?}"),
         }
         assert_eq!(s.stats().restarts, 3);
+        assert_eq!(t.counters().snapshot().restarts, 3);
         s.end_op();
         let _ = t;
     }

@@ -154,6 +154,12 @@ impl BLinkTree {
         &self.counters
     }
 
+    /// Counts a link follow on both the session and the tree-wide counter.
+    pub(crate) fn note_link(&self, session: &mut Session) {
+        session.note_link_follow();
+        TreeCounters::bump(&self.counters.link_follows);
+    }
+
     /// The compression queue length (0 when fully compressed or when
     /// `enqueue_on_underflow` is off).
     pub fn queue_len(&self) -> usize {

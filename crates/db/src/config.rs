@@ -38,6 +38,13 @@ pub struct DbConfig {
     /// page. `false` restores the v1 full-image log, the baseline
     /// `exp15_walamp` measures write amplification against.
     pub wal_delta_puts: bool,
+    /// Record end-to-end per-op latency histograms feeding
+    /// [`crate::Db::metrics`]. On by default (two relaxed atomic adds and
+    /// two clock reads per op); `false` is the no-metrics baseline
+    /// `exp16_contention` measures overhead against. Layer-level counters
+    /// and contended-wait histograms are always on — they live in the
+    /// store and cost nothing on uncontended paths.
+    pub metrics: bool,
 }
 
 impl DbConfig {
@@ -52,6 +59,7 @@ impl DbConfig {
             pool_frames: 1024,
             heap_shards: 0,
             wal_delta_puts: true,
+            metrics: true,
         }
     }
 
@@ -88,6 +96,13 @@ impl DbConfig {
     /// [`DbConfig::wal_delta_puts`]).
     pub fn with_wal_delta_puts(mut self, on: bool) -> DbConfig {
         self.wal_delta_puts = on;
+        self
+    }
+
+    /// Enables or disables per-op latency recording (see
+    /// [`DbConfig::metrics`]).
+    pub fn with_metrics(mut self, on: bool) -> DbConfig {
+        self.metrics = on;
         self
     }
 }

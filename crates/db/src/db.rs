@@ -1,6 +1,7 @@
 //! The [`Db`] handle and [`DbSession`] operations.
 
 use crate::config::DbConfig;
+use crate::metrics::{MetricsSnapshot, OpHists};
 use crate::scan::DbScan;
 use blink_durable::{DurableConfig, DurableStore};
 use blink_pagestore::{
@@ -62,6 +63,8 @@ pub struct Db {
     /// [`Db::get_with`] read helpers, so read fan-out does not force
     /// callers to thread a [`DbSession`] through every call site.
     read_sessions: Mutex<Vec<Session>>,
+    /// End-to-end per-op latency histograms ([`DbConfig::metrics`]).
+    pub(crate) op_hists: OpHists,
 }
 
 /// Cap on pooled read sessions ([`Db::get`]); extras are dropped rather
@@ -106,6 +109,7 @@ impl Db {
                     durable: None,
                     recovery: None,
                     read_sessions: Mutex::new(Vec::new()),
+                    op_hists: OpHists::new(cfg.metrics),
                 })
             }
             Some(dir) => {
@@ -136,6 +140,7 @@ impl Db {
                         durable: Some(ds),
                         recovery: None,
                         read_sessions: Mutex::new(Vec::new()),
+                        op_hists: OpHists::new(cfg.metrics),
                     })
                 }
             }
@@ -173,6 +178,7 @@ impl Db {
             durable: Some(ds),
             recovery: Some(recovery),
             read_sessions: Mutex::new(Vec::new()),
+            op_hists: OpHists::new(cfg.metrics),
         })
     }
 
@@ -242,6 +248,7 @@ impl Db {
     /// the value bytes from the record page's pinned frame for exactly the
     /// duration of the call.
     pub fn get_with<R>(&self, key: u64, f: impl FnMut(&[u8]) -> R) -> Result<Option<R>> {
+        let t0 = self.op_hists.start();
         let mut session = self
             .read_sessions
             .lock()
@@ -256,6 +263,7 @@ impl Db {
         if pool.len() < READ_SESSION_POOL {
             pool.push(session);
         }
+        OpHists::finish(&self.op_hists.get, t0);
         r
     }
 
@@ -283,6 +291,23 @@ impl Db {
     /// The durable store, when this database is durable.
     pub fn durable(&self) -> Option<&Arc<DurableStore>> {
         self.durable.as_ref()
+    }
+
+    /// Every layer's telemetry in one lock-free snapshot: store counters
+    /// and contended-wait histograms, tree structural counters, and
+    /// end-to-end per-op latency histograms. Two snapshots subtract via
+    /// [`MetricsSnapshot::delta`] to window a measured interval; see
+    /// [`MetricsSnapshot::report`] and [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let counters = self.tree.counters();
+        MetricsSnapshot {
+            store: self.store().stats().snapshot(),
+            tree: counters.snapshot(),
+            scan_hop: counters.scan_hop_hist.snapshot(),
+            put: self.op_hists.put.snapshot(),
+            get: self.op_hists.get.snapshot(),
+            delete: self.op_hists.delete.snapshot(),
+        }
     }
 
     /// Flushes WAL and dirty frames (clean-shutdown barrier). A no-op for
@@ -384,6 +409,13 @@ impl<'db> DbSession<'db> {
     /// index re-pointed, and only then the displaced record freed — so
     /// concurrent readers never observe a dangling id.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<PutOutcome> {
+        let t0 = self.db.op_hists.start();
+        let r = self.put_inner(key, value);
+        OpHists::finish(&self.db.op_hists.put, t0);
+        r
+    }
+
+    fn put_inner(&mut self, key: u64, value: &[u8]) -> Result<PutOutcome> {
         // Fast path: overwrite an existing record, in place when possible.
         if let Some(raw) = self.db.tree.search(&mut self.session, key)? {
             let rid = decode_rid(raw)?;
@@ -439,13 +471,23 @@ impl<'db> DbSession<'db> {
     /// a concurrent overwrite races the fetch (only the last run's result
     /// is returned).
     pub fn get_with<R>(&mut self, key: u64, f: impl FnMut(&[u8]) -> R) -> Result<Option<R>> {
-        get_with_session(self.db, &mut self.session, key, f)
+        let t0 = self.db.op_hists.start();
+        let r = get_with_session(self.db, &mut self.session, key, f);
+        OpHists::finish(&self.db.op_hists.get, t0);
+        r
     }
 
     /// Removes `key`; returns whether it was present. The index entry goes
     /// first, then the record — the order that can only leak (recoverable)
     /// rather than dangle.
     pub fn delete(&mut self, key: u64) -> Result<bool> {
+        let t0 = self.db.op_hists.start();
+        let r = self.delete_inner(key);
+        OpHists::finish(&self.db.op_hists.delete, t0);
+        r
+    }
+
+    fn delete_inner(&mut self, key: u64) -> Result<bool> {
         match self.db.tree.delete(&mut self.session, key)? {
             Some(raw) => {
                 free_quiet(&self.db.heap, raw)?;

@@ -50,10 +50,12 @@
 
 pub mod config;
 pub mod db;
+pub mod metrics;
 pub mod scan;
 
 pub use config::DbConfig;
 pub use db::{Db, DbSession, KvRecovery, PutOutcome};
+pub use metrics::MetricsSnapshot;
 pub use scan::DbScan;
 
 #[cfg(test)]

@@ -166,6 +166,21 @@ pub struct Wal {
 }
 
 impl Wal {
+    /// Acquires the append mutex, timing only the contended path into the
+    /// append-wait histogram. Under `FsyncPolicy::Always` this mutex is
+    /// held across the commit fsync ([`Wal::sync_to`]), so with concurrent
+    /// writers its waits are the write path's dominant serialization.
+    fn lock_inner(&self) -> parking_lot::MutexGuard<'_, WalInner> {
+        if let Some(g) = self.inner.try_lock() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = self.inner.lock();
+        self.stats
+            .record_wal_append_wait(t0.elapsed().as_nanos() as u64);
+        g
+    }
+
     /// Opens the log for appending: continues segment `seg_seq` at
     /// `seg_len` bytes (creating it if absent) with the next record taking
     /// `next_lsn`. Recovery computes these from a [`scan`].
@@ -246,7 +261,7 @@ impl Wal {
     /// Appends one record; returns its LSN. The record is *logged* but not
     /// necessarily durable — pair with [`Wal::commit`].
     fn append(&self, op: u8, pid: PageId, data: &[u8]) -> Result<u64> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         self.fault.on_wal_record()?;
         let lsn = inner.next_lsn;
         let buf = encode_record(lsn, op, pid, data);
@@ -266,11 +281,12 @@ impl Wal {
     /// Closes the current segment (fsyncing it) and starts the next one.
     fn rotate(&self, inner: &mut WalInner) -> Result<()> {
         self.fault.check()?;
+        let t0 = Instant::now();
         inner
             .file
             .sync_data()
             .map_err(|e| io_err("sync before rotate", e))?;
-        StoreStats::bump(&self.stats.wal_fsyncs);
+        self.stats.record_fsync(t0.elapsed().as_nanos() as u64);
         let seq = inner.seg_seq + 1;
         let path = segment_path(&self.dir, seq);
         let mut file = OpenOptions::new()
@@ -324,7 +340,8 @@ impl Wal {
     /// The batching half of a Group commit: wait up to `window` for
     /// somebody else's fsync to cover `lsn`, then fsync everything.
     fn commit_grouped(&self, lsn: u64, window: Duration) -> Result<()> {
-        let deadline = Instant::now() + window;
+        let t0 = Instant::now();
+        let deadline = t0 + window;
         {
             let mut flushed = self.flushed.lock();
             while *flushed < lsn {
@@ -333,23 +350,29 @@ impl Wal {
                 }
             }
             if *flushed >= lsn {
+                self.stats
+                    .record_wal_commit_wait(t0.elapsed().as_nanos() as u64);
                 return Ok(());
             }
         }
-        self.sync_to(lsn)
+        let r = self.sync_to(lsn);
+        self.stats
+            .record_wal_commit_wait(t0.elapsed().as_nanos() as u64);
+        r
     }
 
     /// fsyncs everything appended so far if `lsn` is not yet durable.
     fn sync_to(&self, lsn: u64) -> Result<()> {
-        let inner = self.inner.lock();
+        let inner = self.lock_inner();
         let mut flushed = self.flushed.lock();
         if *flushed >= lsn {
             return Ok(());
         }
         self.fault.check()?;
+        let t0 = Instant::now();
         inner.file.sync_data().map_err(|e| io_err("wal fsync", e))?;
+        self.stats.record_fsync(t0.elapsed().as_nanos() as u64);
         let target = inner.next_lsn - 1;
-        StoreStats::bump(&self.stats.wal_fsyncs);
         StoreStats::bump(&self.stats.wal_group_commits);
         StoreStats::add(&self.stats.wal_group_commit_records, target - *flushed);
         *flushed = target;

@@ -1,232 +1,13 @@
-//! A log-bucketed latency histogram (HDR-style, fixed memory).
+//! The harness latency histogram — now the shared pagestore type.
 //!
-//! Values (nanoseconds) are bucketed by power of two with 16 linear
-//! sub-buckets each, giving ≤ ~6% relative error — plenty for latency
-//! tables — with O(1) record and merge.
+//! The original log-bucketed `Histogram` here and the store's fixed-bucket
+//! heap-wait histogram were unified into one implementation,
+//! [`blink_pagestore::hist`]: `HistSnapshot` is the single-threaded
+//! recording/merging form (exactly the old `Histogram` API — `record`,
+//! `merge`, `percentile`, `mean`, `min`/`max`), and `WaitHist` is its
+//! lock-free atomic sibling the store's hot paths record into. Keeping the
+//! `Histogram` name as an alias preserves every harness and bench call
+//! site.
 
-const SUB_BITS: u32 = 4;
-const SUB: usize = 1 << SUB_BITS; // 16 sub-buckets per octave
-const OCTAVES: usize = 61; // covers the full u64 range
-const BUCKETS: usize = OCTAVES * SUB;
-
-/// Fixed-size histogram of `u64` values (typically nanoseconds).
-#[derive(Clone)]
-pub struct Histogram {
-    counts: Box<[u64; BUCKETS]>,
-    total: u64,
-    sum: u64,
-    max: u64,
-    min: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram::new()
-    }
-}
-
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Histogram(n={}, mean={:.0}, p50={}, p99={}, max={})",
-            self.total,
-            self.mean(),
-            self.percentile(50.0),
-            self.percentile(99.0),
-            self.max
-        )
-    }
-}
-
-fn bucket_of(v: u64) -> usize {
-    if v < SUB as u64 {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros();
-    let octave = msb - SUB_BITS + 1;
-    let sub = (v >> (octave - 1)) as usize - SUB;
-    ((octave as usize) * SUB + sub).min(BUCKETS - 1)
-}
-
-/// Representative (upper-edge) value of a bucket.
-fn bucket_value(b: usize) -> u64 {
-    if b < SUB {
-        return b as u64;
-    }
-    let octave = (b / SUB) as u32;
-    let sub = (b % SUB) as u64;
-    (SUB as u64 + sub) << (octave - 1)
-}
-
-impl Histogram {
-    pub fn new() -> Histogram {
-        Histogram {
-            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
-            total: 0,
-            sum: 0,
-            max: 0,
-            min: u64::MAX,
-        }
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
-        self.total += 1;
-        self.sum += v;
-        self.max = self.max.max(v);
-        self.min = self.min.min(v);
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Arithmetic mean (exact, from the running sum).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// Exact maximum.
-    pub fn max(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.max
-        }
-    }
-
-    /// Exact minimum.
-    pub fn min(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Approximate percentile (0 < p ≤ 100).
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return bucket_value(b).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Adds all of `other`'s samples.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-        self.min = self.min.min(other.min);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(99.0), 0);
-        assert_eq!(h.max(), 0);
-        assert_eq!(h.min(), 0);
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = Histogram::new();
-        for v in 0..16u64 {
-            h.record(v);
-        }
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 15);
-        assert_eq!(h.count(), 16);
-        assert_eq!(h.percentile(100.0), 15);
-    }
-
-    #[test]
-    fn percentiles_within_relative_error() {
-        let mut h = Histogram::new();
-        for v in 1..=100_000u64 {
-            h.record(v);
-        }
-        for p in [50.0, 90.0, 99.0, 99.9] {
-            let want = (p / 100.0 * 100_000.0) as u64;
-            let got = h.percentile(p);
-            let err = (got as f64 - want as f64).abs() / want as f64;
-            assert!(err < 0.08, "p{p}: got {got}, want ≈{want} (err {err:.3})");
-        }
-        assert!((h.mean() - 50_000.5).abs() < 1.0);
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        let mut c = Histogram::new();
-        for v in 0..1000u64 {
-            let x = v.wrapping_mul(2654435761) % 1_000_000;
-            if v % 2 == 0 {
-                a.record(x);
-            } else {
-                b.record(x);
-            }
-            c.record(x);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), c.count());
-        assert_eq!(a.max(), c.max());
-        assert_eq!(a.min(), c.min());
-        assert_eq!(a.percentile(50.0), c.percentile(50.0));
-    }
-
-    #[test]
-    fn bucket_roundtrip_is_monotone() {
-        let mut last = 0;
-        for exp in 0..63 {
-            let v = 1u64 << exp;
-            let b = bucket_of(v);
-            assert!(b >= last, "buckets must be monotone");
-            last = b;
-            let rep = bucket_value(b);
-            assert!(
-                rep >= v,
-                "representative must not undershoot: v={v} rep={rep}"
-            );
-            assert!(
-                rep <= v + (v >> 3).max(1),
-                "≤ ~12.5% overshoot: v={v} rep={rep}"
-            );
-        }
-    }
-
-    #[test]
-    fn huge_values_clamp_to_last_bucket() {
-        let mut h = Histogram::new();
-        h.record(u64::MAX);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.max(), u64::MAX);
-        assert!(h.percentile(50.0) >= bucket_value(BUCKETS - 2));
-    }
-}
+pub use blink_pagestore::hist::HistSnapshot as Histogram;
+pub use blink_pagestore::hist::{fmt_ns, WaitHist};

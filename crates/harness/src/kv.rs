@@ -189,17 +189,13 @@ impl KvRunResult {
     }
 
     /// Tail of this run's heap shard-wait distribution: the `p`-th
-    /// percentile wait in microseconds, from the store's fixed-bucket wait
+    /// percentile wait in microseconds, from the store's log-bucketed wait
     /// histogram (windowed — the delta covers exactly the measured phase).
     /// `None` when the run never contended.
     pub fn heap_wait_percentile_us(&self, p: f64) -> Option<f64> {
-        self.store.heap_wait_percentile_ns(p).map(|ns| {
-            if ns == u64::MAX {
-                f64::INFINITY
-            } else {
-                ns as f64 / 1e3
-            }
-        })
+        self.store
+            .heap_wait_percentile_ns(p)
+            .map(|ns| ns as f64 / 1e3)
     }
 
     /// WAL bytes appended per completed operation — the write-amplification

@@ -35,6 +35,7 @@ pub mod backend;
 pub mod clock;
 pub mod error;
 pub mod heap;
+pub mod hist;
 pub mod journal;
 pub mod page;
 pub mod pool;
@@ -48,9 +49,10 @@ pub use backend::{MemBackend, PageBackend};
 pub use clock::LogicalClock;
 pub use error::{Result, StoreError};
 pub use heap::{is_heap_page, HeapConfig, HeapInventory, RecordHeap, RecordId, HEAP_MAGIC};
+pub use hist::{fmt_ns, HistSnapshot, WaitHist, HIST_BUCKETS};
 pub use journal::{DeltaRange, Journal};
 pub use page::{page_lsn, set_page_lsn, Page, PageId, PAGE_LSN_LEN, PAGE_LSN_OFFSET};
 pub use reclaim::DeferredFreeList;
 pub use session::{Session, SessionRegistry, SessionStats};
-pub use stats::{StatsSnapshot, StoreStats, HEAP_WAIT_BUCKETS, HEAP_WAIT_BUCKET_EDGES_NS};
+pub use stats::{StatsSnapshot, StoreStats};
 pub use store::{PageRef, PageStore, PageWrite, StoreConfig, WriteIntent};

@@ -38,9 +38,12 @@
 //! they never wait on anything above them.
 
 use crate::page::PageId;
-use parking_lot::{Mutex, RwLock};
+use crate::stats::StoreStats;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One page-sized buffer plus its concurrency state.
 #[derive(Debug)]
@@ -135,10 +138,11 @@ pub(crate) enum Claim<'a> {
 pub(crate) struct BufferPool {
     shards: Box<[Shard]>,
     capacity: usize,
+    stats: Arc<StoreStats>,
 }
 
 impl BufferPool {
-    pub(crate) fn new(frames: usize, page_size: usize) -> BufferPool {
+    pub(crate) fn new(frames: usize, page_size: usize, stats: Arc<StoreStats>) -> BufferPool {
         // Small pools stay single-sharded so their eviction behavior is the
         // textbook single-clock one (and tiny tests stay deterministic).
         let nshards = if frames >= 64 { 8 } else { 1 };
@@ -161,7 +165,21 @@ impl BufferPool {
         BufferPool {
             shards: shards.into_boxed_slice(),
             capacity: frames,
+            stats,
         }
+    }
+
+    /// Acquires a shard mutex, timing only the contended (slow) path into
+    /// the pool-wait histogram — the uncontended `try_lock` costs nothing
+    /// beyond the acquisition itself.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
+        if let Some(g) = shard.state.try_lock() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = shard.state.lock();
+        self.stats.record_pool_wait(t0.elapsed().as_nanos() as u64);
+        g
     }
 
     /// Total frames.
@@ -177,7 +195,7 @@ impl BufferPool {
     /// (possibly choosing a victim). See [`Claim`].
     pub(crate) fn claim(&self, pid: PageId) -> Claim<'_> {
         let shard = self.shard(pid);
-        let mut st = shard.state.lock();
+        let mut st = self.lock_shard(shard);
         if let Some(&i) = st.map.get(&pid) {
             let f = &shard.frames[i];
             f.pins.fetch_add(1, Ordering::AcqRel);
@@ -258,7 +276,7 @@ impl BufferPool {
     /// holds a pin) but the frame is an orphan that the clock will reclaim.
     pub(crate) fn complete_miss(&self, pid: PageId, idx: usize) -> bool {
         let shard = self.shard(pid);
-        let mut st = shard.state.lock();
+        let mut st = self.lock_shard(shard);
         if let Some(old) = st.meta[idx].flushing.take() {
             if st.map.get(&old) == Some(&idx) {
                 st.map.remove(&old);
@@ -273,7 +291,7 @@ impl BufferPool {
     /// falling through to it observe the pre-claim state.
     pub(crate) fn abort_miss(&self, pid: PageId, idx: usize) {
         let shard = self.shard(pid);
-        let mut st = shard.state.lock();
+        let mut st = self.lock_shard(shard);
         if let Some(old) = st.meta[idx].flushing.take() {
             if st.map.get(&old) == Some(&idx) {
                 st.map.remove(&old);
@@ -300,7 +318,7 @@ impl BufferPool {
     /// stale while the latch is held.
     pub(crate) fn still_flushing(&self, old: PageId, idx: usize) -> bool {
         let shard = self.shard(old);
-        let st = shard.state.lock();
+        let st = self.lock_shard(shard);
         st.meta.get(idx).is_some_and(|m| m.flushing == Some(old))
     }
 
@@ -312,7 +330,7 @@ impl BufferPool {
     /// the claim's pin.
     pub(crate) fn restore_victim(&self, pid: PageId, idx: usize) {
         let shard = self.shard(pid);
-        let mut st = shard.state.lock();
+        let mut st = self.lock_shard(shard);
         if st.map.get(&pid) == Some(&idx) {
             st.map.remove(&pid);
         }
@@ -341,7 +359,7 @@ impl BufferPool {
             return;
         }
         let shard = self.shard(pid);
-        let mut st = shard.state.lock();
+        let mut st = self.lock_shard(shard);
         if let Some(&i) = st.map.get(&pid) {
             if st.meta[i].resident == Some(pid) {
                 st.map.remove(&pid);
@@ -362,7 +380,7 @@ impl BufferPool {
         if self.capacity == 0 {
             return false;
         }
-        self.shard(pid).state.lock().map.contains_key(&pid)
+        self.lock_shard(self.shard(pid)).map.contains_key(&pid)
     }
 
     /// Pins and returns every dirty resident frame, for a flush-everything
@@ -371,7 +389,7 @@ impl BufferPool {
     pub(crate) fn pin_dirty(&self) -> Vec<(&Frame, PageId)> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
-            let st = shard.state.lock();
+            let st = self.lock_shard(shard);
             for (i, m) in st.meta.iter().enumerate() {
                 if let Some(pid) = m.resident {
                     let f = &shard.frames[i];
@@ -387,7 +405,10 @@ impl BufferPool {
 
     /// Pages currently resident (tests/diagnostics).
     pub(crate) fn resident(&self) -> usize {
-        self.shards.iter().map(|s| s.state.lock().map.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| self.lock_shard(s).map.len())
+            .sum()
     }
 }
 
@@ -401,7 +422,7 @@ mod tests {
 
     #[test]
     fn hit_after_miss_and_complete() {
-        let p = BufferPool::new(4, 32);
+        let p = BufferPool::new(4, 32, Arc::new(StoreStats::default()));
         let (f, i) = match p.claim(pid(1)) {
             Claim::Miss {
                 frame,
@@ -426,7 +447,7 @@ mod tests {
 
     #[test]
     fn pinned_frames_are_never_victims() {
-        let p = BufferPool::new(2, 32);
+        let p = BufferPool::new(2, 32, Arc::new(StoreStats::default()));
         // Fill both frames, keep both pinned.
         for n in 1..=2u32 {
             match p.claim(pid(n)) {
@@ -443,7 +464,7 @@ mod tests {
 
     #[test]
     fn clock_evicts_unreferenced_and_dirty_victims_keep_mapping() {
-        let p = BufferPool::new(1, 32);
+        let p = BufferPool::new(1, 32, Arc::new(StoreStats::default()));
         let f1 = match p.claim(pid(1)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(1, Ordering::Release);
@@ -478,7 +499,7 @@ mod tests {
 
     #[test]
     fn abort_returns_frame_to_the_clock() {
-        let p = BufferPool::new(1, 32);
+        let p = BufferPool::new(1, 32, Arc::new(StoreStats::default()));
         match p.claim(pid(1)) {
             Claim::Miss { idx, .. } => p.abort_miss(pid(1), idx),
             _ => panic!(),
@@ -495,7 +516,7 @@ mod tests {
 
     #[test]
     fn restore_victim_reinstates_dirty_resident() {
-        let p = BufferPool::new(1, 32);
+        let p = BufferPool::new(1, 32, Arc::new(StoreStats::default()));
         match p.claim(pid(1)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(1, Ordering::Release);
@@ -533,7 +554,7 @@ mod tests {
 
     #[test]
     fn freed_victim_is_not_still_flushing() {
-        let p = BufferPool::new(1, 32);
+        let p = BufferPool::new(1, 32, Arc::new(StoreStats::default()));
         match p.claim(pid(1)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(1, Ordering::Release);
@@ -563,7 +584,7 @@ mod tests {
 
     #[test]
     fn discard_unmaps_and_clears_dirty() {
-        let p = BufferPool::new(2, 32);
+        let p = BufferPool::new(2, 32, Arc::new(StoreStats::default()));
         match p.claim(pid(7)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(7, Ordering::Release);
@@ -588,7 +609,7 @@ mod tests {
 
     #[test]
     fn pin_dirty_pins_exactly_the_dirty_frames() {
-        let p = BufferPool::new(4, 32);
+        let p = BufferPool::new(4, 32, Arc::new(StoreStats::default()));
         for n in 1..=3u32 {
             match p.claim(pid(n)) {
                 Claim::Miss { frame, idx, .. } => {
@@ -613,7 +634,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_pool_is_always_exhausted() {
-        let p = BufferPool::new(0, 32);
+        let p = BufferPool::new(0, 32, Arc::new(StoreStats::default()));
         assert!(matches!(p.claim(pid(1)), Claim::Exhausted));
         assert!(!p.is_mapped(pid(1)));
         p.discard(pid(1));

@@ -66,12 +66,11 @@ impl RwLockTable {
         let stats = self.store.stats();
         let mut st = e.st.lock();
         if st.writer || st.writers_waiting > 0 {
-            StoreStats::bump(&stats.rw_contended);
             let t0 = Instant::now();
             while st.writer || st.writers_waiting > 0 {
                 e.cv.wait(&mut st);
             }
-            StoreStats::add(&stats.rw_wait_ns, t0.elapsed().as_nanos() as u64);
+            stats.record_rw_wait(t0.elapsed().as_nanos() as u64);
         }
         st.readers += 1;
         drop(st);
@@ -99,14 +98,13 @@ impl RwLockTable {
         let stats = self.store.stats();
         let mut st = e.st.lock();
         if st.writer || st.readers > 0 {
-            StoreStats::bump(&stats.rw_contended);
             st.writers_waiting += 1;
             let t0 = Instant::now();
             while st.writer || st.readers > 0 {
                 e.cv.wait(&mut st);
             }
             st.writers_waiting -= 1;
-            StoreStats::add(&stats.rw_wait_ns, t0.elapsed().as_nanos() as u64);
+            stats.record_rw_wait(t0.elapsed().as_nanos() as u64);
         }
         st.writer = true;
         drop(st);

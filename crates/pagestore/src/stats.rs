@@ -1,170 +1,246 @@
-//! Store-wide instrumentation counters.
+//! Store-wide instrumentation counters and per-layer wait histograms.
 //!
 //! The paper's claims are stated in terms of locks obtained, lock waiting,
 //! and extra page reads (link follows, restarts). These counters are the raw
 //! material for experiments E1/E4/E5; they are plain relaxed atomics so they
 //! perturb the measured protocols as little as possible.
+//!
+//! Every field is declared exactly once, inside the `store_stats!`
+//! invocation at the bottom of this file: the macro generates the atomic
+//! struct ([`StoreStats`]), its point-in-time copy ([`StatsSnapshot`]),
+//! `snapshot()`, `delta()`, and by-name access (`COUNTER_NAMES`,
+//! `counter()`, `hist()`) in one go — a new counter cannot silently miss
+//! the snapshot or the delta anymore.
+//!
+//! Wait *histograms* ([`WaitHist`]) accompany the wait-sum counters on
+//! every synchronization point of the write path (buffer-pool shard
+//! mutexes, frame latches, paper locks, rw locks, heap shard allocators,
+//! WAL append mutex, group-commit windows, fsyncs). Sums hide tails;
+//! snapshot deltas over the histograms give each measured interval its own
+//! p50/p99.
 
+use crate::hist::{HistSnapshot, WaitHist};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of buckets in the heap shard-wait histogram.
-pub const HEAP_WAIT_BUCKETS: usize = 8;
+macro_rules! store_stats {
+    (
+        counters {
+            $( $(#[$cattr:meta])* $cname:ident, )*
+        }
+        hists {
+            $( $(#[$hattr:meta])* $hname:ident, )*
+        }
+    ) => {
+        /// Counters maintained by a [`crate::PageStore`].
+        #[derive(Debug, Default)]
+        pub struct StoreStats {
+            $( $(#[$cattr])* pub $cname: AtomicU64, )*
+            $( $(#[$hattr])* pub $hname: WaitHist, )*
+        }
 
-/// Upper edges (exclusive, nanoseconds) of the first
-/// `HEAP_WAIT_BUCKETS - 1` histogram buckets; the last bucket is open
-/// (≥ the final edge). Decades from 1µs to 1s: contended-but-fine waits
-/// land in the first few buckets, a tail in the last ones is the signal
-/// `exp14` prints.
-pub const HEAP_WAIT_BUCKET_EDGES_NS: [u64; HEAP_WAIT_BUCKETS - 1] = [
-    1_000,
-    10_000,
-    100_000,
-    1_000_000,
-    10_000_000,
-    100_000_000,
-    1_000_000_000,
-];
+        /// A point-in-time copy of [`StoreStats`], convenient for diffing.
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct StatsSnapshot {
+            $( pub $cname: u64, )*
+            $( pub $hname: HistSnapshot, )*
+        }
 
-fn heap_wait_bucket(ns: u64) -> usize {
-    HEAP_WAIT_BUCKET_EDGES_NS
-        .iter()
-        .position(|&edge| ns < edge)
-        .unwrap_or(HEAP_WAIT_BUCKETS - 1)
+        impl Default for StatsSnapshot {
+            fn default() -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $cname: 0, )*
+                    $( $hname: HistSnapshot::new(), )*
+                }
+            }
+        }
+
+        impl StoreStats {
+            /// Copies every counter and histogram.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $cname: self.$cname.load(Ordering::Relaxed), )*
+                    $( $hname: self.$hname.snapshot(), )*
+                }
+            }
+
+            /// Looks a scalar counter up by name (tests, generic emitters).
+            pub fn counter_ref(&self, name: &str) -> Option<&AtomicU64> {
+                match name {
+                    $( stringify!($cname) => Some(&self.$cname), )*
+                    _ => None,
+                }
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Names of every scalar counter, in declaration order.
+            pub const COUNTER_NAMES: &'static [&'static str] =
+                &[ $( stringify!($cname), )* ];
+            /// Names of every wait histogram, in declaration order.
+            pub const HIST_NAMES: &'static [&'static str] =
+                &[ $( stringify!($hname), )* ];
+
+            /// Element-wise `self - earlier`, for measuring an interval.
+            pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $( $cname: self.$cname - earlier.$cname, )*
+                    $( $hname: self.$hname.delta(&earlier.$hname), )*
+                }
+            }
+
+            /// A scalar counter's value by name (see `COUNTER_NAMES`).
+            pub fn counter(&self, name: &str) -> Option<u64> {
+                match name {
+                    $( stringify!($cname) => Some(self.$cname), )*
+                    _ => None,
+                }
+            }
+
+            /// A histogram by name (see `HIST_NAMES`).
+            pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+                match name {
+                    $( stringify!($hname) => Some(&self.$hname), )*
+                    _ => None,
+                }
+            }
+
+            /// Visits every scalar counter as `(name, value)`.
+            pub fn for_each_counter(&self, mut f: impl FnMut(&'static str, u64)) {
+                $( f(stringify!($cname), self.$cname); )*
+            }
+        }
+    };
 }
 
-/// Counters maintained by a [`crate::PageStore`].
-#[derive(Debug, Default)]
-pub struct StoreStats {
-    /// Number of `get` (page read) operations.
-    pub gets: AtomicU64,
-    /// Number of `put` (page write) operations.
-    pub puts: AtomicU64,
-    /// Pages allocated.
-    pub allocs: AtomicU64,
-    /// Pages freed (returned to the free list).
-    pub frees: AtomicU64,
-    /// Paper-lock acquisitions.
-    pub lock_acquires: AtomicU64,
-    /// Paper-lock acquisitions that had to wait for another holder.
-    pub lock_contended: AtomicU64,
-    /// Total nanoseconds spent waiting for paper locks.
-    pub lock_wait_ns: AtomicU64,
-    /// Shared (rw) lock acquisitions (baseline trees only).
-    pub rw_shared_acquires: AtomicU64,
-    /// Exclusive (rw) lock acquisitions (baseline trees only).
-    pub rw_exclusive_acquires: AtomicU64,
-    /// Rw-lock acquisitions that had to wait.
-    pub rw_contended: AtomicU64,
-    /// Total nanoseconds spent waiting for rw locks.
-    pub rw_wait_ns: AtomicU64,
-    /// Buffer-pool read hits: `read`/`get` served from a resident frame
-    /// (no backend access, no page copy). Writes are not counted here, so
-    /// `cache_hits + cache_misses == gets` and `hit_rate` is the read hit
-    /// rate.
-    pub cache_hits: AtomicU64,
-    /// Buffer-pool read misses: reads that had to load from (or, when
-    /// every frame was pinned, bypass to) the backend.
-    pub cache_misses: AtomicU64,
-    /// Frames whose resident page was displaced by CLOCK replacement.
-    pub frames_evicted: AtomicU64,
-    /// Dirty frames written back to the backend (on eviction or flush).
-    pub dirty_writebacks: AtomicU64,
-    /// Frame pins taken (each read/write guard pins its frame once).
-    pub pins: AtomicU64,
-    /// Accesses that bypassed the pool because every frame was pinned.
-    pub pool_bypasses: AtomicU64,
-    /// WAL records appended (journaled stores only).
-    pub wal_records: AtomicU64,
-    /// Bytes appended to the WAL (record headers + payloads) — the
-    /// write-amplification numerator `exp15` divides by puts.
-    pub wal_bytes: AtomicU64,
-    /// Tracked page writes logged as v2 delta records.
-    pub wal_put_deltas: AtomicU64,
-    /// Page writes logged as full images (v1 puts and v2 base records).
-    pub wal_put_full_images: AtomicU64,
-    /// Tracked writes that fell back to a full image because the page had
-    /// no base record yet in the current checkpoint epoch (first touch).
-    pub wal_delta_fallback_first_touch: AtomicU64,
-    /// Tracked writes that fell back to a full image because the coalesced
-    /// delta would have exceeded the size cutoff (~half the page).
-    pub wal_delta_fallback_large: AtomicU64,
-    /// Group commits that skipped the batching window because no other
-    /// committer was in flight (the self-tuning fast path).
-    pub wal_group_solo_commits: AtomicU64,
-    /// Delta records recovery skipped because the on-disk page already
-    /// carried an LSN at or past the record's (idempotent replay).
-    pub recovery_deltas_skipped: AtomicU64,
-    /// WAL fsync (sync_data) calls.
-    pub wal_fsyncs: AtomicU64,
-    /// Group-commit flushes (each durably commits a batch of records).
-    pub wal_group_commits: AtomicU64,
-    /// Records covered by those group-commit flushes; divide by
-    /// `wal_group_commits` for the mean batch size.
-    pub wal_group_commit_records: AtomicU64,
-    /// WAL records replayed by recovery when the store was opened.
-    pub recovery_replayed: AtomicU64,
-    /// Heap inserts that landed in a reused (previously freed) slot
-    /// instead of bump-allocating a new one.
-    pub heap_slots_reused: AtomicU64,
-    /// Partially-empty heap pages adopted back into a shard's allocation
-    /// pool from the recycle queue.
-    pub heap_pages_recycled: AtomicU64,
-    /// Heap pages released back to the store (emptied by frees/rotation).
-    pub heap_pages_released: AtomicU64,
-    /// Benign double-frees the `Db` observed (a record already freed by a
-    /// racing overwrite/delete; real I/O errors are propagated, not
-    /// counted here).
-    pub heap_double_frees: AtomicU64,
-    /// Heap inserts that found their shard's allocator mutex held.
-    pub heap_shard_contended: AtomicU64,
-    /// Total nanoseconds heap inserts spent waiting for a shard mutex.
-    pub heap_shard_wait_ns: AtomicU64,
-    /// Fixed-bucket histogram of individual shard-mutex waits (bucket
-    /// edges in [`HEAP_WAIT_BUCKET_EDGES_NS`]). Snapshot deltas give a
-    /// *windowed* view — each measured interval's own distribution — so
-    /// `exp14` can report tail contention, not just the running sum.
-    pub heap_wait_hist: [AtomicU64; HEAP_WAIT_BUCKETS],
-}
-
-/// A point-in-time copy of [`StoreStats`], convenient for diffing.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    pub gets: u64,
-    pub puts: u64,
-    pub allocs: u64,
-    pub frees: u64,
-    pub lock_acquires: u64,
-    pub lock_contended: u64,
-    pub lock_wait_ns: u64,
-    pub rw_shared_acquires: u64,
-    pub rw_exclusive_acquires: u64,
-    pub rw_contended: u64,
-    pub rw_wait_ns: u64,
-    pub cache_hits: u64,
-    pub cache_misses: u64,
-    pub frames_evicted: u64,
-    pub dirty_writebacks: u64,
-    pub pins: u64,
-    pub pool_bypasses: u64,
-    pub wal_records: u64,
-    pub wal_bytes: u64,
-    pub wal_put_deltas: u64,
-    pub wal_put_full_images: u64,
-    pub wal_delta_fallback_first_touch: u64,
-    pub wal_delta_fallback_large: u64,
-    pub wal_group_solo_commits: u64,
-    pub recovery_deltas_skipped: u64,
-    pub wal_fsyncs: u64,
-    pub wal_group_commits: u64,
-    pub wal_group_commit_records: u64,
-    pub recovery_replayed: u64,
-    pub heap_slots_reused: u64,
-    pub heap_pages_recycled: u64,
-    pub heap_pages_released: u64,
-    pub heap_double_frees: u64,
-    pub heap_shard_contended: u64,
-    pub heap_shard_wait_ns: u64,
-    pub heap_wait_hist: [u64; HEAP_WAIT_BUCKETS],
+store_stats! {
+    counters {
+        /// Number of `get` (page read) operations.
+        gets,
+        /// Number of `put` (page write) operations.
+        puts,
+        /// Pages allocated.
+        allocs,
+        /// Pages freed (returned to the free list).
+        frees,
+        /// Paper-lock acquisitions.
+        lock_acquires,
+        /// Paper-lock acquisitions that had to wait for another holder.
+        lock_contended,
+        /// Total nanoseconds spent waiting for paper locks.
+        lock_wait_ns,
+        /// Shared (rw) lock acquisitions (baseline trees only).
+        rw_shared_acquires,
+        /// Exclusive (rw) lock acquisitions (baseline trees only).
+        rw_exclusive_acquires,
+        /// Rw-lock acquisitions that had to wait.
+        rw_contended,
+        /// Total nanoseconds spent waiting for rw locks.
+        rw_wait_ns,
+        /// Buffer-pool read hits: `read`/`get` served from a resident frame
+        /// (no backend access, no page copy). Writes are not counted here,
+        /// so `cache_hits + cache_misses == gets` and `hit_rate` is the
+        /// read hit rate.
+        cache_hits,
+        /// Buffer-pool read misses: reads that had to load from (or, when
+        /// every frame was pinned, bypass to) the backend.
+        cache_misses,
+        /// Frames whose resident page was displaced by CLOCK replacement.
+        frames_evicted,
+        /// Dirty frames written back to the backend (eviction or flush).
+        dirty_writebacks,
+        /// Frame pins taken (each read/write guard pins its frame once).
+        pins,
+        /// Accesses that bypassed the pool because every frame was pinned.
+        pool_bypasses,
+        /// Buffer-pool shard-mutex acquisitions that found it held.
+        pool_contended,
+        /// Total nanoseconds spent waiting for pool shard mutexes.
+        pool_wait_ns,
+        /// Frame-latch acquisitions (read or write) that had to wait.
+        latch_contended,
+        /// Total nanoseconds spent waiting for frame latches.
+        latch_wait_ns,
+        /// WAL records appended (journaled stores only).
+        wal_records,
+        /// Bytes appended to the WAL (record headers + payloads) — the
+        /// write-amplification numerator `exp15` divides by puts.
+        wal_bytes,
+        /// Tracked page writes logged as v2 delta records.
+        wal_put_deltas,
+        /// Page writes logged as full images (v1 puts and v2 base records).
+        wal_put_full_images,
+        /// Tracked writes that fell back to a full image because the page
+        /// had no base record yet in the current checkpoint epoch.
+        wal_delta_fallback_first_touch,
+        /// Tracked writes that fell back to a full image because the
+        /// coalesced delta would have exceeded the size cutoff.
+        wal_delta_fallback_large,
+        /// Group commits that skipped the batching window because no other
+        /// committer was in flight (the self-tuning fast path).
+        wal_group_solo_commits,
+        /// Delta records recovery skipped because the on-disk page already
+        /// carried an LSN at or past the record's (idempotent replay).
+        recovery_deltas_skipped,
+        /// WAL fsync (sync_data) calls.
+        wal_fsyncs,
+        /// Total nanoseconds spent inside WAL fsync calls.
+        wal_fsync_ns,
+        /// Group-commit flushes (each durably commits a batch of records).
+        wal_group_commits,
+        /// Records covered by those group-commit flushes; divide by
+        /// `wal_group_commits` for the mean batch size.
+        wal_group_commit_records,
+        /// WAL appends that found the append mutex held by another writer.
+        wal_append_contended,
+        /// Total nanoseconds spent waiting for the WAL append mutex.
+        wal_append_wait_ns,
+        /// Group commits that entered the batching window (non-solo).
+        wal_commit_waits,
+        /// Total nanoseconds group committers spent in the batching window
+        /// (waiting for a covering fsync, plus their own fsync if nobody
+        /// else's arrived).
+        wal_commit_wait_ns,
+        /// WAL records replayed by recovery when the store was opened.
+        recovery_replayed,
+        /// Heap inserts that landed in a reused (previously freed) slot
+        /// instead of bump-allocating a new one.
+        heap_slots_reused,
+        /// Partially-empty heap pages adopted back into a shard's
+        /// allocation pool from the recycle queue.
+        heap_pages_recycled,
+        /// Heap pages released back to the store (emptied by frees).
+        heap_pages_released,
+        /// Benign double-frees the `Db` observed (a record already freed by
+        /// a racing overwrite/delete; real I/O errors are propagated, not
+        /// counted here).
+        heap_double_frees,
+        /// Heap inserts that found their shard's allocator mutex held.
+        heap_shard_contended,
+        /// Total nanoseconds heap inserts spent waiting for a shard mutex.
+        heap_shard_wait_ns,
+    }
+    hists {
+        /// Individual paper-lock waits (contended acquisitions only).
+        lock_wait_hist,
+        /// Individual rw-lock waits (baseline trees only).
+        rw_wait_hist,
+        /// Individual buffer-pool shard-mutex waits (contended only; the
+        /// uncontended `try_lock` fast path records nothing).
+        pool_wait_hist,
+        /// Individual frame-latch waits (contended only).
+        latch_wait_hist,
+        /// Individual heap shard-mutex waits (contended only). Snapshot
+        /// deltas give a *windowed* view — each measured interval's own
+        /// distribution — so `exp14` reports tail contention, not just the
+        /// running sum.
+        heap_wait_hist,
+        /// Individual WAL append-mutex waits (contended only).
+        wal_append_wait_hist,
+        /// Individual group-commit window waits (entry to durable).
+        wal_commit_wait_hist,
+        /// Individual WAL fsync durations.
+        fsync_hist,
+    }
 }
 
 impl StoreStats {
@@ -179,131 +255,75 @@ impl StoreStats {
         counter.fetch_add(v, Ordering::Relaxed);
     }
 
+    /// Records one contended paper-lock acquisition that waited `ns`.
+    pub fn record_lock_wait(&self, ns: u64) {
+        StoreStats::bump(&self.lock_contended);
+        StoreStats::add(&self.lock_wait_ns, ns);
+        self.lock_wait_hist.record(ns);
+    }
+
+    /// Records one contended rw-lock acquisition that waited `ns`.
+    pub fn record_rw_wait(&self, ns: u64) {
+        StoreStats::bump(&self.rw_contended);
+        StoreStats::add(&self.rw_wait_ns, ns);
+        self.rw_wait_hist.record(ns);
+    }
+
+    /// Records one contended buffer-pool shard-mutex wait.
+    pub fn record_pool_wait(&self, ns: u64) {
+        StoreStats::bump(&self.pool_contended);
+        StoreStats::add(&self.pool_wait_ns, ns);
+        self.pool_wait_hist.record(ns);
+    }
+
+    /// Records one contended frame-latch wait.
+    pub fn record_latch_wait(&self, ns: u64) {
+        StoreStats::bump(&self.latch_contended);
+        StoreStats::add(&self.latch_wait_ns, ns);
+        self.latch_wait_hist.record(ns);
+    }
+
     /// Records one heap shard-mutex wait: bumps the contended counter, the
-    /// running sum, and the wait histogram bucket for `ns`.
+    /// running sum, and the wait histogram.
     pub fn record_heap_wait(&self, ns: u64) {
         StoreStats::bump(&self.heap_shard_contended);
         StoreStats::add(&self.heap_shard_wait_ns, ns);
-        StoreStats::bump(&self.heap_wait_hist[heap_wait_bucket(ns)]);
+        self.heap_wait_hist.record(ns);
     }
 
-    /// Copies every counter.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            gets: self.gets.load(Ordering::Relaxed),
-            puts: self.puts.load(Ordering::Relaxed),
-            allocs: self.allocs.load(Ordering::Relaxed),
-            frees: self.frees.load(Ordering::Relaxed),
-            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
-            lock_contended: self.lock_contended.load(Ordering::Relaxed),
-            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
-            rw_shared_acquires: self.rw_shared_acquires.load(Ordering::Relaxed),
-            rw_exclusive_acquires: self.rw_exclusive_acquires.load(Ordering::Relaxed),
-            rw_contended: self.rw_contended.load(Ordering::Relaxed),
-            rw_wait_ns: self.rw_wait_ns.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            frames_evicted: self.frames_evicted.load(Ordering::Relaxed),
-            dirty_writebacks: self.dirty_writebacks.load(Ordering::Relaxed),
-            pins: self.pins.load(Ordering::Relaxed),
-            pool_bypasses: self.pool_bypasses.load(Ordering::Relaxed),
-            wal_records: self.wal_records.load(Ordering::Relaxed),
-            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
-            wal_put_deltas: self.wal_put_deltas.load(Ordering::Relaxed),
-            wal_put_full_images: self.wal_put_full_images.load(Ordering::Relaxed),
-            wal_delta_fallback_first_touch: self
-                .wal_delta_fallback_first_touch
-                .load(Ordering::Relaxed),
-            wal_delta_fallback_large: self.wal_delta_fallback_large.load(Ordering::Relaxed),
-            wal_group_solo_commits: self.wal_group_solo_commits.load(Ordering::Relaxed),
-            recovery_deltas_skipped: self.recovery_deltas_skipped.load(Ordering::Relaxed),
-            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
-            wal_group_commits: self.wal_group_commits.load(Ordering::Relaxed),
-            wal_group_commit_records: self.wal_group_commit_records.load(Ordering::Relaxed),
-            recovery_replayed: self.recovery_replayed.load(Ordering::Relaxed),
-            heap_slots_reused: self.heap_slots_reused.load(Ordering::Relaxed),
-            heap_pages_recycled: self.heap_pages_recycled.load(Ordering::Relaxed),
-            heap_pages_released: self.heap_pages_released.load(Ordering::Relaxed),
-            heap_double_frees: self.heap_double_frees.load(Ordering::Relaxed),
-            heap_shard_contended: self.heap_shard_contended.load(Ordering::Relaxed),
-            heap_shard_wait_ns: self.heap_shard_wait_ns.load(Ordering::Relaxed),
-            heap_wait_hist: std::array::from_fn(|i| self.heap_wait_hist[i].load(Ordering::Relaxed)),
-        }
+    /// Records one contended WAL append-mutex wait.
+    pub fn record_wal_append_wait(&self, ns: u64) {
+        StoreStats::bump(&self.wal_append_contended);
+        StoreStats::add(&self.wal_append_wait_ns, ns);
+        self.wal_append_wait_hist.record(ns);
+    }
+
+    /// Records one group-commit window wait (entry to durable).
+    pub fn record_wal_commit_wait(&self, ns: u64) {
+        StoreStats::bump(&self.wal_commit_waits);
+        StoreStats::add(&self.wal_commit_wait_ns, ns);
+        self.wal_commit_wait_hist.record(ns);
+    }
+
+    /// Records one WAL fsync: bumps the call counter, the duration sum,
+    /// and the duration histogram.
+    pub fn record_fsync(&self, ns: u64) {
+        StoreStats::bump(&self.wal_fsyncs);
+        StoreStats::add(&self.wal_fsync_ns, ns);
+        self.fsync_hist.record(ns);
     }
 }
 
 impl StatsSnapshot {
-    /// Element-wise `self - earlier`, for measuring an interval.
-    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            gets: self.gets - earlier.gets,
-            puts: self.puts - earlier.puts,
-            allocs: self.allocs - earlier.allocs,
-            frees: self.frees - earlier.frees,
-            lock_acquires: self.lock_acquires - earlier.lock_acquires,
-            lock_contended: self.lock_contended - earlier.lock_contended,
-            lock_wait_ns: self.lock_wait_ns - earlier.lock_wait_ns,
-            rw_shared_acquires: self.rw_shared_acquires - earlier.rw_shared_acquires,
-            rw_exclusive_acquires: self.rw_exclusive_acquires - earlier.rw_exclusive_acquires,
-            rw_contended: self.rw_contended - earlier.rw_contended,
-            rw_wait_ns: self.rw_wait_ns - earlier.rw_wait_ns,
-            cache_hits: self.cache_hits - earlier.cache_hits,
-            cache_misses: self.cache_misses - earlier.cache_misses,
-            frames_evicted: self.frames_evicted - earlier.frames_evicted,
-            dirty_writebacks: self.dirty_writebacks - earlier.dirty_writebacks,
-            pins: self.pins - earlier.pins,
-            pool_bypasses: self.pool_bypasses - earlier.pool_bypasses,
-            wal_records: self.wal_records - earlier.wal_records,
-            wal_bytes: self.wal_bytes - earlier.wal_bytes,
-            wal_put_deltas: self.wal_put_deltas - earlier.wal_put_deltas,
-            wal_put_full_images: self.wal_put_full_images - earlier.wal_put_full_images,
-            wal_delta_fallback_first_touch: self.wal_delta_fallback_first_touch
-                - earlier.wal_delta_fallback_first_touch,
-            wal_delta_fallback_large: self.wal_delta_fallback_large
-                - earlier.wal_delta_fallback_large,
-            wal_group_solo_commits: self.wal_group_solo_commits - earlier.wal_group_solo_commits,
-            recovery_deltas_skipped: self.recovery_deltas_skipped - earlier.recovery_deltas_skipped,
-            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
-            wal_group_commits: self.wal_group_commits - earlier.wal_group_commits,
-            wal_group_commit_records: self.wal_group_commit_records
-                - earlier.wal_group_commit_records,
-            recovery_replayed: self.recovery_replayed - earlier.recovery_replayed,
-            heap_slots_reused: self.heap_slots_reused - earlier.heap_slots_reused,
-            heap_pages_recycled: self.heap_pages_recycled - earlier.heap_pages_recycled,
-            heap_pages_released: self.heap_pages_released - earlier.heap_pages_released,
-            heap_double_frees: self.heap_double_frees - earlier.heap_double_frees,
-            heap_shard_contended: self.heap_shard_contended - earlier.heap_shard_contended,
-            heap_shard_wait_ns: self.heap_shard_wait_ns - earlier.heap_shard_wait_ns,
-            heap_wait_hist: std::array::from_fn(|i| {
-                self.heap_wait_hist[i] - earlier.heap_wait_hist[i]
-            }),
-        }
-    }
-
     /// Approximate percentile of the heap shard-wait distribution in this
-    /// snapshot (window), in nanoseconds: the upper edge of the bucket the
-    /// `p`-th percentile wait falls into (`u64::MAX` for the open last
-    /// bucket — report it as "≥ 1s"). Returns `None` when no waits were
-    /// recorded.
+    /// snapshot (window), in nanoseconds. Returns `None` when no waits
+    /// were recorded.
     pub fn heap_wait_percentile_ns(&self, p: f64) -> Option<u64> {
-        let total: u64 = self.heap_wait_hist.iter().sum();
-        if total == 0 {
-            return None;
+        if self.heap_wait_hist.count() == 0 {
+            None
+        } else {
+            Some(self.heap_wait_hist.percentile(p))
         }
-        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.heap_wait_hist.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return Some(
-                    HEAP_WAIT_BUCKET_EDGES_NS
-                        .get(i)
-                        .copied()
-                        .unwrap_or(u64::MAX),
-                );
-            }
-        }
-        Some(u64::MAX)
     }
 
     /// Live pages = allocations minus frees.
@@ -345,7 +365,66 @@ mod tests {
     }
 
     #[test]
-    fn heap_wait_histogram_buckets_and_percentiles() {
+    fn every_counter_roundtrips_through_snapshot_and_delta() {
+        // The macro must wire every declared counter through snapshot(),
+        // delta(), counter() and counter_ref() alike: bump each one a
+        // distinct number of times and check the window sees exactly that.
+        let s = StoreStats::default();
+        let before = s.snapshot();
+        for (i, &name) in StatsSnapshot::COUNTER_NAMES.iter().enumerate() {
+            let c = s
+                .counter_ref(name)
+                .unwrap_or_else(|| panic!("counter_ref missing {name}"));
+            for _ in 0..=i {
+                StoreStats::bump(c);
+            }
+        }
+        let d = s.snapshot().delta(&before);
+        for (i, &name) in StatsSnapshot::COUNTER_NAMES.iter().enumerate() {
+            assert_eq!(
+                d.counter(name),
+                Some(i as u64 + 1),
+                "counter {name} lost in snapshot→delta"
+            );
+        }
+        let mut visited = 0;
+        d.for_each_counter(|_, _| visited += 1);
+        assert_eq!(visited, StatsSnapshot::COUNTER_NAMES.len());
+        assert!(StatsSnapshot::COUNTER_NAMES.len() >= 40);
+    }
+
+    #[test]
+    fn every_hist_is_reachable_by_name() {
+        let s = StoreStats::default();
+        s.record_lock_wait(10);
+        s.record_rw_wait(20);
+        s.record_pool_wait(30);
+        s.record_latch_wait(40);
+        s.record_heap_wait(50);
+        s.record_wal_append_wait(60);
+        s.record_wal_commit_wait(70);
+        s.record_fsync(80);
+        let snap = s.snapshot();
+        for &name in StatsSnapshot::HIST_NAMES {
+            let h = snap
+                .hist(name)
+                .unwrap_or_else(|| panic!("hist missing {name}"));
+            assert_eq!(h.count(), 1, "hist {name} must have the one sample");
+        }
+        assert_eq!(StatsSnapshot::HIST_NAMES.len(), 8);
+        // Each record_* helper also maintained its sum/contended counters.
+        assert_eq!(snap.lock_contended, 1);
+        assert_eq!(snap.pool_wait_ns, 30);
+        assert_eq!(snap.latch_contended, 1);
+        assert_eq!(snap.heap_shard_wait_ns, 50);
+        assert_eq!(snap.wal_append_wait_ns, 60);
+        assert_eq!(snap.wal_commit_wait_ns, 70);
+        assert_eq!(snap.wal_fsyncs, 1);
+        assert_eq!(snap.wal_fsync_ns, 80);
+    }
+
+    #[test]
+    fn heap_wait_histogram_windows_and_percentiles() {
         let s = StoreStats::default();
         // 8 sub-µs waits, one 50µs wait, one 2s outlier.
         for _ in 0..8 {
@@ -355,12 +434,16 @@ mod tests {
         s.record_heap_wait(2_000_000_000);
         let snap = s.snapshot();
         assert_eq!(snap.heap_shard_contended, 10);
-        assert_eq!(snap.heap_wait_hist[0], 8);
-        assert_eq!(snap.heap_wait_hist[2], 1); // 10µs..100µs
-        assert_eq!(snap.heap_wait_hist[HEAP_WAIT_BUCKETS - 1], 1);
-        assert_eq!(snap.heap_wait_percentile_ns(50.0), Some(1_000));
-        assert_eq!(snap.heap_wait_percentile_ns(90.0), Some(100_000));
-        assert_eq!(snap.heap_wait_percentile_ns(100.0), Some(u64::MAX));
+        assert_eq!(snap.heap_wait_hist.count(), 10);
+        let p50 = snap.heap_wait_percentile_ns(50.0).unwrap();
+        assert!((450..=550).contains(&p50), "p50 ≈ 500ns, got {p50}");
+        let p90 = snap.heap_wait_percentile_ns(90.0).unwrap();
+        assert!((45_000..=55_000).contains(&p90), "p90 ≈ 50µs, got {p90}");
+        assert_eq!(
+            snap.heap_wait_percentile_ns(100.0),
+            Some(2_000_000_000),
+            "max is exact"
+        );
         // Windowing: a delta over a quiet interval is empty.
         let later = s.snapshot();
         assert_eq!(later.delta(&snap).heap_wait_percentile_ns(99.0), None);

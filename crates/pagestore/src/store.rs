@@ -593,7 +593,7 @@ impl PageStore {
             }
         }
         Ok(Arc::new(PageStore {
-            pool: BufferPool::new(cfg.pool_frames, cfg.page_size),
+            pool: BufferPool::new(cfg.pool_frames, cfg.page_size, Arc::clone(&stats)),
             zero: vec![0u8; cfg.page_size].into_boxed_slice(),
             cfg,
             backend,
@@ -603,6 +603,29 @@ impl PageStore {
             stats,
             epoch: AtomicU64::new(1),
         }))
+    }
+
+    /// Acquires a frame's read latch, timing only the contended path into
+    /// the latch-wait histogram.
+    fn latch_read<'a>(&self, latch: &'a RwLock<Box<[u8]>>) -> RwLockReadGuard<'a, Box<[u8]>> {
+        if let Some(g) = latch.try_read() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = latch.read();
+        self.stats.record_latch_wait(t0.elapsed().as_nanos() as u64);
+        g
+    }
+
+    /// Acquires a frame's write latch, timing only the contended path.
+    fn latch_write<'a>(&self, latch: &'a RwLock<Box<[u8]>>) -> RwLockWriteGuard<'a, Box<[u8]>> {
+        if let Some(g) = latch.try_write() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = latch.write();
+        self.stats.record_latch_wait(t0.elapsed().as_nanos() as u64);
+        g
     }
 
     /// Store configuration.
@@ -638,7 +661,7 @@ impl PageStore {
         let mut first_err = None;
         for (frame, pid) in self.pool.pin_dirty() {
             let r = (|| -> Result<()> {
-                let guard = frame.data.read();
+                let guard = self.latch_read(&frame.data);
                 let slot = self.slot(pid)?;
                 let allocated = slot.allocated.lock();
                 // Claim the dirty bit before writing: a concurrent put needs
@@ -916,7 +939,7 @@ impl PageStore {
             match self.pool.claim(pid) {
                 Claim::Hit(frame) => {
                     StoreStats::bump(&self.stats.pins);
-                    let guard = frame.data.read();
+                    let guard = self.latch_read(&frame.data);
                     if !frame.owned_by(pid) {
                         // The frame is mid-load or was repurposed between the
                         // map lookup and the latch; the responsible party is
@@ -959,7 +982,7 @@ impl PageStore {
                     self.pool.complete_miss(pid, idx);
                     // Our pin keeps the frame ours; a put may slip in between
                     // latch drops, but then the guard just sees newer bytes.
-                    let guard = frame.data.read();
+                    let guard = self.latch_read(&frame.data);
                     return Ok(PageRef {
                         inner: RefInner::Frame {
                             frame,
@@ -1002,7 +1025,7 @@ impl PageStore {
         idx: usize,
         flush: Option<PageId>,
     ) -> Result<()> {
-        let mut buf = frame.data.write();
+        let mut buf = self.latch_write(&frame.data);
         if let Err(e) = self.flush_victim(pid, frame, idx, flush, &buf) {
             drop(buf);
             return Err(e);
@@ -1122,7 +1145,7 @@ impl PageStore {
             match self.pool.claim(pid) {
                 Claim::Hit(frame) => {
                     StoreStats::bump(&self.stats.pins);
-                    let mut guard = frame.data.write();
+                    let mut guard = self.latch_write(&frame.data);
                     if !frame.owned_by(pid) {
                         drop(guard);
                         frame.unpin();
@@ -1166,7 +1189,7 @@ impl PageStore {
                     if evicted {
                         StoreStats::bump(&self.stats.frames_evicted);
                     }
-                    let mut guard = frame.data.write();
+                    let mut guard = self.latch_write(&frame.data);
                     if let Err(e) = self.flush_victim(pid, frame, idx, flush, &guard) {
                         drop(guard);
                         return Err(e);
@@ -1243,7 +1266,7 @@ impl PageStore {
             match self.pool.claim(pid) {
                 Claim::Hit(frame) => {
                     StoreStats::bump(&self.stats.pins);
-                    let mut guard = frame.data.write();
+                    let mut guard = self.latch_write(&frame.data);
                     if !frame.owned_by(pid) {
                         drop(guard);
                         frame.unpin();
@@ -1289,7 +1312,7 @@ impl PageStore {
                     if evicted {
                         StoreStats::bump(&self.stats.frames_evicted);
                     }
-                    let mut guard = frame.data.write();
+                    let mut guard = self.latch_write(&frame.data);
                     if let Err(e) = self.flush_victim(pid, frame, idx, flush, &guard) {
                         drop(guard);
                         return Err(e);
@@ -1377,8 +1400,7 @@ impl PageStore {
         let wait_ns = slot.lock.lock(session.id());
         StoreStats::bump(&self.stats.lock_acquires);
         if wait_ns > 0 {
-            StoreStats::bump(&self.stats.lock_contended);
-            StoreStats::add(&self.stats.lock_wait_ns, wait_ns);
+            self.stats.record_lock_wait(wait_ns);
         }
         session.note_lock(pid);
     }
@@ -1407,8 +1429,7 @@ impl PageStore {
             Some(wait_ns) => {
                 StoreStats::bump(&self.stats.lock_acquires);
                 if wait_ns > 0 {
-                    StoreStats::bump(&self.stats.lock_contended);
-                    StoreStats::add(&self.stats.lock_wait_ns, wait_ns);
+                    self.stats.record_lock_wait(wait_ns);
                 }
                 session.note_lock(pid);
                 true
