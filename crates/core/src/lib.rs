@@ -77,5 +77,5 @@ pub use key::{Bound, Key};
 pub use node::{Node, NodeKind};
 pub use recovery::RecoveryStats;
 pub use scan::{Scan, ScanIter};
-pub use tree::{BLinkTree, InsertOutcome};
+pub use tree::{BLinkTree, InsertOutcome, OptimisticTestHook};
 pub use verify::VerifyReport;

@@ -28,6 +28,48 @@ pub enum InsertOutcome {
     Duplicate,
 }
 
+/// Test-only hook fired between an optimistic node snapshot and its
+/// revalidation (see `BLinkTree::try_read_node_optimistic`): lets a test
+/// place a concurrent split deterministically inside the validation
+/// window. Fires at most once per arming, then disarms itself. The
+/// `AtomicBool` gate keeps the cost on the hot path to one relaxed load.
+#[doc(hidden)]
+#[derive(Default)]
+pub struct OptimisticTestHook {
+    armed: std::sync::atomic::AtomicBool,
+    f: std::sync::Mutex<Option<Box<dyn FnMut() + Send>>>,
+}
+
+impl OptimisticTestHook {
+    /// Arms the hook with a closure to run inside the next validation
+    /// window.
+    pub fn arm(&self, f: Box<dyn FnMut() + Send>) {
+        *self.f.lock().expect("hook poisoned") = Some(f);
+        self.armed.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    pub(crate) fn fire(&self) {
+        if self.armed.load(std::sync::atomic::Ordering::Relaxed)
+            && self.armed.swap(false, std::sync::atomic::Ordering::AcqRel)
+        {
+            if let Some(mut f) = self.f.lock().expect("hook poisoned").take() {
+                f();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for OptimisticTestHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptimisticTestHook")
+            .field(
+                "armed",
+                &self.armed.load(std::sync::atomic::Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
 /// A concurrent B\*-tree (Blink-tree) with overtaking insertions and
 /// concurrent compression, per Sagiv (JCSS 1986).
 ///
@@ -44,6 +86,9 @@ pub struct BLinkTree {
     pub(crate) freelist: DeferredFreeList,
     pub(crate) queue: CompressionQueue,
     pub(crate) counters: TreeCounters,
+    /// See [`OptimisticTestHook`]; a no-op unless a test arms it.
+    #[doc(hidden)]
+    pub optimistic_hook: OptimisticTestHook,
 }
 
 impl BLinkTree {
@@ -71,6 +116,7 @@ impl BLinkTree {
             freelist: DeferredFreeList::new(),
             queue: CompressionQueue::new(),
             counters: TreeCounters::default(),
+            optimistic_hook: OptimisticTestHook::default(),
         }))
     }
 
@@ -103,6 +149,7 @@ impl BLinkTree {
             freelist: DeferredFreeList::new(),
             queue: CompressionQueue::new(),
             counters: TreeCounters::default(),
+            optimistic_hook: OptimisticTestHook::default(),
         }))
     }
 
@@ -126,6 +173,7 @@ impl BLinkTree {
             freelist: DeferredFreeList::new(),
             queue: CompressionQueue::new(),
             counters: TreeCounters::default(),
+            optimistic_hook: OptimisticTestHook::default(),
         }))
     }
 
@@ -215,6 +263,48 @@ impl BLinkTree {
                 Err(TreeError::Corrupt(_)) => Ok(None),
                 Err(e) => Err(e),
             },
+            Err(StoreError::PageFreed(_)) | Err(StoreError::OutOfBounds(_)) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Optimistic (version-coupled) variant of
+    /// [`BLinkTree::try_read_node`] for root/branch descent steps: copies
+    /// the page out of its buffer-pool frame **without taking the frame
+    /// latch** (validated by the frame's seqlock), decodes the private
+    /// copy, then revalidates the version stamp before letting the
+    /// descent act on the node. A failed revalidation — a writer began
+    /// mutating the page since the snapshot — returns `Ok(None)`, which
+    /// traversals answer with a restart, exactly like a wrong-node read.
+    /// Unavailable fast paths (page not resident, writer mid-mutation)
+    /// fall back to the latched read.
+    pub(crate) fn try_read_node_optimistic(&self, pid: PageId) -> Result<Option<Node>> {
+        thread_local! {
+            static OPT_BUF: std::cell::RefCell<Vec<u8>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let got = OPT_BUF.with(|b| {
+            let mut buf = b.borrow_mut();
+            buf.resize(self.store.page_size(), 0);
+            match self.store.read_unlatched(pid, &mut buf) {
+                Ok(Some(stamp)) => Ok(Some((stamp, Node::decode(&buf)))),
+                Ok(None) => Ok(None),
+                Err(e) => Err(e),
+            }
+        });
+        match got {
+            Ok(Some((stamp, decoded))) => {
+                self.optimistic_hook.fire();
+                if !self.store.stamp_valid(pid, &stamp) {
+                    return Ok(None);
+                }
+                match decoded {
+                    Ok(n) => Ok(Some(n)),
+                    Err(TreeError::Corrupt(_)) => Ok(None),
+                    Err(e) => Err(e),
+                }
+            }
+            Ok(None) => self.try_read_node(pid),
             Err(StoreError::PageFreed(_)) | Err(StoreError::OutOfBounds(_)) => Ok(None),
             Err(e) => Err(e.into()),
         }

@@ -38,6 +38,26 @@ pub struct DbConfig {
     /// page. `false` restores the v1 full-image log, the baseline
     /// `exp15_walamp` measures write amplification against.
     pub wal_delta_puts: bool,
+    /// Per-thread WAL staging (durable stores only): writers serialize
+    /// their records into thread-local staging slots without taking the
+    /// append mutex; the group-commit leader stitches staged records into
+    /// LSN order and issues one contiguous segment write. Multi-record
+    /// operations (a KV put touching heap + index pages) also defer the
+    /// fsync-policy commit to the end of the operation — one commit-window
+    /// wait per op instead of one per record. On by default; `false` is
+    /// the single-mutex append baseline of the exp14 ablation.
+    pub wal_staging: bool,
+    /// Adapt the group-commit window to the observed record-arrival and
+    /// fsync-duration distribution instead of always waiting the full
+    /// configured window ([`FsyncPolicy::Group`] only). On by default.
+    pub adaptive_commit: bool,
+    /// Optimistic version-coupled reads on root/branch descent levels:
+    /// nodes are copied out of their buffer-pool frames without the frame
+    /// latch, validated by a per-frame seqlock, and revalidated before
+    /// the descent acts on them (mismatch → restart). Leaf reads and all
+    /// writes keep latches. On by default; `false` is the all-latched
+    /// baseline of the exp14 ablation.
+    pub optimistic_reads: bool,
     /// Record end-to-end per-op latency histograms feeding
     /// [`crate::Db::metrics`]. On by default (two relaxed atomic adds and
     /// two clock reads per op); `false` is the no-metrics baseline
@@ -59,6 +79,9 @@ impl DbConfig {
             pool_frames: 1024,
             heap_shards: 0,
             wal_delta_puts: true,
+            wal_staging: true,
+            adaptive_commit: true,
+            optimistic_reads: true,
             metrics: true,
         }
     }
@@ -103,6 +126,27 @@ impl DbConfig {
     /// [`DbConfig::metrics`]).
     pub fn with_metrics(mut self, on: bool) -> DbConfig {
         self.metrics = on;
+        self
+    }
+
+    /// Enables or disables per-thread WAL staging (see
+    /// [`DbConfig::wal_staging`]).
+    pub fn with_wal_staging(mut self, on: bool) -> DbConfig {
+        self.wal_staging = on;
+        self
+    }
+
+    /// Enables or disables the adaptive group-commit window (see
+    /// [`DbConfig::adaptive_commit`]).
+    pub fn with_adaptive_commit(mut self, on: bool) -> DbConfig {
+        self.adaptive_commit = on;
+        self
+    }
+
+    /// Enables or disables optimistic latch-free reads on upper index
+    /// levels (see [`DbConfig::optimistic_reads`]).
+    pub fn with_optimistic_reads(mut self, on: bool) -> DbConfig {
+        self.optimistic_reads = on;
         self
     }
 }

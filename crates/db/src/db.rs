@@ -101,6 +101,7 @@ impl Db {
                     RecordHeap::attach_with_config(Arc::clone(&store), Db::heap_config(&cfg))?.0,
                 );
                 let mut tcfg = cfg.tree.clone();
+                tcfg.optimistic_reads = cfg.optimistic_reads;
                 tcfg.external_pages = Some(heap.pages_handle());
                 let tree = BLinkTree::create(store, tcfg)?;
                 Ok(Db {
@@ -120,6 +121,8 @@ impl Db {
                     segment_bytes: cfg.segment_bytes,
                     pool_frames: cfg.pool_frames,
                     delta_puts: cfg.wal_delta_puts,
+                    wal_staging: cfg.wal_staging,
+                    adaptive_commit: cfg.adaptive_commit,
                 };
                 if dir.join("meta").exists() {
                     Db::open_durable(dcfg, cfg)
@@ -131,6 +134,7 @@ impl Db {
                             .0,
                     );
                     let mut tcfg = cfg.tree.clone();
+                    tcfg.optimistic_reads = cfg.optimistic_reads;
                     tcfg.external_pages = Some(heap.pages_handle());
                     let tree = BLinkTree::create(store, tcfg)?;
                     debug_assert_eq!(tree.prime_page(), blink_durable::prime_page());
@@ -159,6 +163,7 @@ impl Db {
         let heap = Arc::new(heap);
         let protected: HashSet<PageId> = inventory.pages.iter().copied().collect();
         let mut tcfg = cfg.tree.clone();
+        tcfg.optimistic_reads = cfg.optimistic_reads;
         tcfg.external_pages = Some(heap.pages_handle());
         let (tree, stats) = BLinkTree::open_or_recover_protected(
             store,
@@ -409,9 +414,23 @@ impl<'db> DbSession<'db> {
     /// index re-pointed, and only then the displaced record freed — so
     /// concurrent readers never observe a dangling id.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<PutOutcome> {
-        let t0 = self.db.op_hists.start();
-        let r = self.put_inner(key, value);
-        OpHists::finish(&self.db.op_hists.put, t0);
+        let db = self.db;
+        let t0 = db.op_hists.start();
+        let r = match db.durable.as_ref() {
+            // A put can log several WAL records (heap page plus one or more
+            // index pages); defer the fsync-policy commit to the end of the
+            // operation so the commit window is paid once per op rather
+            // than once per record.
+            Some(ds) => {
+                let (r, commit) = ds.with_deferred_commit(|| self.put_inner(key, value));
+                r.and_then(|v| {
+                    commit?;
+                    Ok(v)
+                })
+            }
+            None => self.put_inner(key, value),
+        };
+        OpHists::finish(&db.op_hists.put, t0);
         r
     }
 
@@ -481,9 +500,21 @@ impl<'db> DbSession<'db> {
     /// first, then the record — the order that can only leak (recoverable)
     /// rather than dangle.
     pub fn delete(&mut self, key: u64) -> Result<bool> {
-        let t0 = self.db.op_hists.start();
-        let r = self.delete_inner(key);
-        OpHists::finish(&self.db.op_hists.delete, t0);
+        let db = self.db;
+        let t0 = db.op_hists.start();
+        let r = match db.durable.as_ref() {
+            // Same one-commit-per-op batching as `put`: the index delete
+            // and the record free both log records.
+            Some(ds) => {
+                let (r, commit) = ds.with_deferred_commit(|| self.delete_inner(key));
+                r.and_then(|v| {
+                    commit?;
+                    Ok(v)
+                })
+            }
+            None => self.delete_inner(key),
+        };
+        OpHists::finish(&db.op_hists.delete, t0);
         r
     }
 

@@ -67,6 +67,16 @@ pub struct DurableConfig {
     /// records instead of full page images. On by default; `false` is the
     /// write-amplified v1 baseline `exp15` measures against.
     pub delta_puts: bool,
+    /// Per-thread WAL staging: writers serialize records into thread-local
+    /// staging slots without the append mutex; the group-commit leader
+    /// stitches staged records into LSN order and issues one contiguous
+    /// segment write. `false` is the single-mutex append baseline the
+    /// exp14 ablation measures against.
+    pub wal_staging: bool,
+    /// Adapt the group-commit window to the observed arrival/fsync-time
+    /// distribution instead of always waiting the configured window.
+    /// Only affects [`FsyncPolicy::Group`].
+    pub adaptive_commit: bool,
 }
 
 impl DurableConfig {
@@ -79,6 +89,8 @@ impl DurableConfig {
             segment_bytes: 8 << 20,
             pool_frames: 1024,
             delta_puts: true,
+            wal_staging: true,
+            adaptive_commit: true,
         }
     }
 
@@ -322,15 +334,19 @@ impl DurableStore {
         Self::trim_log_tail(&cfg.dir, &report)?;
         backend.sync()?;
 
-        let wal = Arc::new(Wal::open(
-            &cfg.dir,
-            cfg.fsync,
-            cfg.segment_bytes,
-            report.last_seg_seq,
-            report.next_lsn,
-            Arc::clone(&fault),
-            Arc::clone(&stats),
-        )?);
+        let wal = Arc::new(
+            Wal::open(
+                &cfg.dir,
+                cfg.fsync,
+                cfg.segment_bytes,
+                report.last_seg_seq,
+                report.next_lsn,
+                Arc::clone(&fault),
+                Arc::clone(&stats),
+            )?
+            .with_staging(cfg.wal_staging)
+            .with_adaptive_commit(cfg.adaptive_commit),
+        );
         let store = PageStore::with_parts(
             cfg.store_config(),
             Box::new(backend),
@@ -434,6 +450,17 @@ impl DurableStore {
     /// Flushes the WAL and page file (clean-shutdown barrier).
     pub fn sync(&self) -> Result<()> {
         self.store.sync()
+    }
+
+    /// Runs `f` with WAL commit deferral: every record the scope appends
+    /// is staged immediately (the commit point for crash semantics) but
+    /// the fsync-policy commit runs **once** at scope exit instead of per
+    /// record — a multi-record operation (a KV put touching heap + index
+    /// pages) pays one commit-window wait, not several. No-op without
+    /// staging. The deferred commit's error is returned alongside `f`'s
+    /// output; it surfaces even when `f` itself failed.
+    pub fn with_deferred_commit<T>(&self, f: impl FnOnce() -> T) -> (T, Result<()>) {
+        self.wal.deferred_scope(f)
     }
 }
 

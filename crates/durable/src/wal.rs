@@ -58,9 +58,11 @@ use crate::crc::Crc32;
 use crate::fault::FaultInjector;
 use blink_pagestore::{DeltaRange, Journal, PageId, Result, StoreError, StoreStats};
 use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -146,6 +148,131 @@ struct WalInner {
     next_lsn: u64,
 }
 
+/// One staging slot: encoded records tagged with their claimed LSNs.
+type StagingSlot = Mutex<Vec<(u64, Vec<u8>)>>;
+
+/// Per-thread staging slots (striped by a thread ticket). Between them and
+/// the append mutex sits the staging protocol:
+///
+/// * A writer locks **its own slot only**, passes the fault gate, claims an
+///   LSN from the shared counter *while holding the slot lock*, encodes the
+///   record, and pushes `(lsn, bytes)` — no append-mutex acquisition.
+/// * A publisher (any committer, or a writer crossing the staged-bytes
+///   threshold) locks the append mutex, loads a cut `C` from the LSN
+///   counter, then locks every slot and drains entries with `lsn < C`.
+///   Because LSNs are claimed under slot locks, any `lsn < C` is visible in
+///   some slot by the time its lock is acquired — the sorted batch is
+///   provably dense — and one contiguous `write_all` per segment stitches
+///   it into the file.
+#[derive(Debug)]
+struct StagingState {
+    slots: Box<[StagingSlot]>,
+    /// Next LSN to hand out (the allocation counter; `WalInner::next_lsn`
+    /// becomes "first LSN not yet written to the file").
+    next_lsn: AtomicU64,
+    /// Bytes staged but not yet published (publish back-pressure).
+    staged_bytes: AtomicU64,
+}
+
+/// Staging slots per log. More than any plausible writer count on the
+/// reference host; collisions only cost a short slot-mutex wait.
+const STAGING_SLOTS: usize = 16;
+/// Staged bytes that trigger an eager publish even without a commit, so an
+/// fsync-less workload (`FsyncPolicy::Never` inside a deferred scope)
+/// cannot grow the slots without bound.
+const STAGING_PUBLISH_BYTES: u64 = 256 * 1024;
+
+fn staging_slot_index(n: usize) -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    TICKET.with(|t| {
+        let mut v = t.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+        }
+        v % n
+    })
+}
+
+thread_local! {
+    /// Active deferred-commit scope: `Some(max staged LSN so far)` while a
+    /// [`Wal::deferred_scope`] is running on this thread (0 = nothing
+    /// staged yet), `None` otherwise. Lets one logical operation that logs
+    /// several records (heap write + index repoint) pay for one commit
+    /// instead of one per record.
+    static DEFERRED: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// EWMA state sizing the group-commit window from observed behavior: when
+/// record arrivals are sparser than an fsync is long, batching cannot win
+/// and the window collapses to zero; when they are dense, the window is
+/// clamped to about two fsyncs — past that the batch is already as full as
+/// the arrival rate allows and extra waiting is pure latency.
+#[derive(Debug)]
+struct CommitTuner {
+    epoch: Instant,
+    /// Nanoseconds since `epoch` of the last record arrival (0 = none).
+    last_arrival_ns: AtomicU64,
+    /// EWMA of inter-arrival gaps, ns (α = 1/8; racy updates are fine —
+    /// this only steers a heuristic).
+    arrival_ewma_ns: AtomicU64,
+    /// EWMA of fsync durations, ns.
+    fsync_ewma_ns: AtomicU64,
+}
+
+impl CommitTuner {
+    fn new() -> CommitTuner {
+        CommitTuner {
+            epoch: Instant::now(),
+            last_arrival_ns: AtomicU64::new(0),
+            arrival_ewma_ns: AtomicU64::new(0),
+            fsync_ewma_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn ewma_update(cell: &AtomicU64, sample: u64) {
+        let prev = cell.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            sample
+        } else {
+            prev - prev / 8 + sample / 8
+        };
+        cell.store(next.max(1), Ordering::Relaxed);
+    }
+
+    fn note_arrival(&self) {
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        let last = self.last_arrival_ns.swap(now, Ordering::Relaxed);
+        if last != 0 && now > last {
+            CommitTuner::ewma_update(&self.arrival_ewma_ns, now - last);
+        }
+    }
+
+    fn note_fsync(&self, ns: u64) {
+        CommitTuner::ewma_update(&self.fsync_ewma_ns, ns);
+    }
+
+    /// The window a grouped committer should actually wait, given the
+    /// configured cap.
+    fn effective_window(&self, configured: Duration) -> Duration {
+        let arrival = self.arrival_ewma_ns.load(Ordering::Relaxed);
+        let fsync = self.fsync_ewma_ns.load(Ordering::Relaxed);
+        if arrival == 0 || fsync == 0 {
+            return configured; // not enough signal yet
+        }
+        if arrival > fsync {
+            // Arrivals are sparser than an fsync: by the time a batch-mate
+            // shows up we could have fsynced — don't wait.
+            Duration::ZERO
+        } else {
+            configured.min(Duration::from_nanos(fsync.saturating_mul(2)))
+        }
+    }
+}
+
 /// The appender half of the log (see module docs).
 #[derive(Debug)]
 pub struct Wal {
@@ -155,6 +282,13 @@ pub struct Wal {
     fault: Arc<FaultInjector>,
     stats: Arc<StoreStats>,
     inner: Mutex<WalInner>,
+    /// Per-thread staging mode (see [`StagingState`]); `None` = every
+    /// append goes straight through the append mutex (the pre-staging
+    /// behavior, still the right choice for single-threaded embedders and
+    /// the knob-off arm of the exp14 ablation).
+    staging: Option<StagingState>,
+    /// Adaptive group-commit window sizing; `None` = fixed window.
+    tuner: Option<CommitTuner>,
     /// Highest LSN known durable.
     flushed: Mutex<u64>,
     flush_cv: Condvar,
@@ -237,10 +371,36 @@ impl Wal {
                 seg_len,
                 next_lsn,
             }),
+            staging: None,
+            tuner: None,
             flushed: Mutex::new(next_lsn.saturating_sub(1)),
             flush_cv: Condvar::new(),
             committers: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// Enables (or disables) per-thread staging. Call right after
+    /// [`Wal::open`], before the log is shared: the staging LSN counter is
+    /// seeded from the appender state.
+    pub fn with_staging(mut self, on: bool) -> Wal {
+        self.staging = if on {
+            let next = self.inner.get_mut().next_lsn;
+            Some(StagingState {
+                slots: (0..STAGING_SLOTS).map(|_| Mutex::new(Vec::new())).collect(),
+                next_lsn: AtomicU64::new(next),
+                staged_bytes: AtomicU64::new(0),
+            })
+        } else {
+            None
+        };
+        self
+    }
+
+    /// Enables (or disables) adaptive group-commit window sizing. Only
+    /// affects the [`FsyncPolicy::Group`] policy.
+    pub fn with_adaptive_commit(mut self, on: bool) -> Wal {
+        self.tuner = on.then(CommitTuner::new);
+        self
     }
 
     /// The fsync policy this log commits under.
@@ -250,7 +410,10 @@ impl Wal {
 
     /// LSN of the most recently appended record (0 = none yet).
     pub fn appended_lsn(&self) -> u64 {
-        self.inner.lock().next_lsn - 1
+        match &self.staging {
+            Some(st) => st.next_lsn.load(Ordering::Acquire) - 1,
+            None => self.inner.lock().next_lsn - 1,
+        }
     }
 
     /// Sequence number of the segment currently being appended.
@@ -258,8 +421,20 @@ impl Wal {
         self.inner.lock().seg_seq
     }
 
-    /// Appends one record; returns its LSN. The record is *logged* but not
-    /// necessarily durable — pair with [`Wal::commit`].
+    /// Appends one record; returns its LSN. The record is *logged* (or
+    /// staged, in staging mode) but not necessarily durable — pair with
+    /// [`Wal::commit`].
+    fn append_record(&self, op: u8, pid: PageId, data: &[u8]) -> Result<u64> {
+        if let Some(t) = &self.tuner {
+            t.note_arrival();
+        }
+        match &self.staging {
+            Some(st) => self.stage(st, op, pid, data),
+            None => self.append(op, pid, data),
+        }
+    }
+
+    /// The single-mutex append path (staging off).
     fn append(&self, op: u8, pid: PageId, data: &[u8]) -> Result<u64> {
         let mut inner = self.lock_inner();
         self.fault.on_wal_record()?;
@@ -276,6 +451,151 @@ impl Wal {
         inner.next_lsn += 1;
         StoreStats::add(&self.stats.wal_bytes, buf.len() as u64);
         Ok(lsn)
+    }
+
+    /// The staged append path: serialize into this thread's slot, no
+    /// append-mutex acquisition. The fault gate runs *before* the LSN is
+    /// claimed so a rejected record consumes no LSN — crash-point matrices
+    /// still observe exact record-boundary prefixes.
+    fn stage(&self, st: &StagingState, op: u8, pid: PageId, data: &[u8]) -> Result<u64> {
+        let slot = &st.slots[staging_slot_index(st.slots.len())];
+        let mut entries = match slot.try_lock() {
+            Some(g) => g,
+            None => {
+                // A publisher (or a ticket collision) holds the slot:
+                // attribute the wait where exp16 already looks for append
+                // serialization.
+                let t0 = Instant::now();
+                let g = slot.lock();
+                self.stats
+                    .record_wal_append_wait(t0.elapsed().as_nanos() as u64);
+                g
+            }
+        };
+        self.fault.on_wal_record()?;
+        let lsn = st.next_lsn.fetch_add(1, Ordering::AcqRel);
+        let buf = encode_record(lsn, op, pid, data);
+        let len = buf.len() as u64;
+        entries.push((lsn, buf));
+        // Account the bytes while still holding the slot lock: a publisher
+        // cannot drain this entry (and `fetch_sub` its bytes) until it takes
+        // the slot, so the gauge never goes below zero.
+        let total = st.staged_bytes.fetch_add(len, Ordering::AcqRel) + len;
+        drop(entries);
+        StoreStats::add(&self.stats.wal_bytes, len);
+        StoreStats::bump(&self.stats.wal_staged_records);
+        if total >= STAGING_PUBLISH_BYTES {
+            self.publish()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Writes every fully-staged record into the segment file (staging
+    /// mode; no-op otherwise). Does **not** fsync.
+    pub(crate) fn publish(&self) -> Result<()> {
+        if self.staging.is_none() {
+            return Ok(());
+        }
+        let mut inner = self.lock_inner();
+        self.publish_locked(&mut inner)
+    }
+
+    /// The leader half of staging: under the append mutex, cut the LSN
+    /// counter, drain every slot below the cut, stitch into LSN order, and
+    /// write the batch with at most one `write_all` per segment.
+    fn publish_locked(&self, inner: &mut WalInner) -> Result<()> {
+        let Some(st) = &self.staging else {
+            return Ok(());
+        };
+        let cut = st.next_lsn.load(Ordering::Acquire);
+        if inner.next_lsn >= cut {
+            return Ok(());
+        }
+        let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
+        for slot in st.slots.iter() {
+            let mut entries = slot.lock();
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].0 < cut {
+                    batch.push(entries.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        batch.sort_unstable_by_key(|&(lsn, _)| lsn);
+        for (k, &(lsn, _)) in batch.iter().enumerate() {
+            if lsn != inner.next_lsn + k as u64 {
+                return Err(StoreError::Corrupt("staged WAL batch has an LSN gap"));
+            }
+        }
+        let mut pending: Vec<u8> = Vec::new();
+        let mut written = 0u64;
+        for (_, bytes) in &batch {
+            let projected = inner.seg_len + pending.len() as u64 + bytes.len() as u64;
+            if projected > self.segment_bytes && inner.seg_len + pending.len() as u64 > SEG_HEADER {
+                if !pending.is_empty() {
+                    inner
+                        .file
+                        .write_all(&pending)
+                        .map_err(|e| io_err("publish staged wal batch", e))?;
+                    inner.seg_len += pending.len() as u64;
+                    pending.clear();
+                }
+                self.rotate(inner)?;
+            }
+            pending.extend_from_slice(bytes);
+            written += bytes.len() as u64;
+        }
+        if !pending.is_empty() {
+            inner
+                .file
+                .write_all(&pending)
+                .map_err(|e| io_err("publish staged wal batch", e))?;
+            inner.seg_len += pending.len() as u64;
+        }
+        inner.next_lsn = cut;
+        st.staged_bytes.fetch_sub(written, Ordering::AcqRel);
+        StoreStats::bump(&self.stats.wal_publishes);
+        StoreStats::add(&self.stats.wal_publish_records, batch.len() as u64);
+        Ok(())
+    }
+
+    /// Runs `f` with per-record commits deferred (staging mode only): the
+    /// records `f` logs on this thread are committed **once**, after `f`
+    /// returns — even when `f` fails, so a staged record acknowledged `Ok`
+    /// always reaches the file. Returns `f`'s output plus the outcome of
+    /// that final commit.
+    pub fn deferred_scope<T>(&self, f: impl FnOnce() -> T) -> (T, Result<()>) {
+        if self.staging.is_none() {
+            return (f(), Ok(()));
+        }
+        let prev = DEFERRED.with(|d| d.replace(Some(0)));
+        let out = f();
+        let staged = DEFERRED.with(|d| d.replace(prev)).unwrap_or(0);
+        let fin = if staged != 0 {
+            self.commit(staged)
+        } else {
+            Ok(())
+        };
+        (out, fin)
+    }
+
+    /// Commit, unless a deferred scope on this thread absorbs it.
+    fn finish(&self, lsn: u64) -> Result<()> {
+        if self.staging.is_some() {
+            let deferred = DEFERRED.with(|d| match d.get() {
+                Some(max) => {
+                    d.set(Some(max.max(lsn)));
+                    true
+                }
+                None => false,
+            });
+            if deferred {
+                return Ok(());
+            }
+        }
+        self.commit(lsn)
     }
 
     /// Closes the current segment (fsyncing it) and starts the next one.
@@ -309,6 +629,7 @@ impl Wal {
     /// once the checkpoint metadata is durable.
     pub fn rotate_for_checkpoint(&self) -> Result<(u64, u64)> {
         let mut inner = self.inner.lock();
+        self.publish_locked(&mut inner)?;
         self.rotate(&mut inner)?;
         Ok((inner.seg_seq, inner.next_lsn))
     }
@@ -316,10 +637,22 @@ impl Wal {
     /// Makes `lsn` durable per the policy.
     fn commit(&self, lsn: u64) -> Result<()> {
         match self.policy {
-            FsyncPolicy::Never => Ok(()),
+            // No durability promise, but a staged record must still reach
+            // the file: otherwise an acknowledged `Ok` could evaporate on
+            // a crash the checksummed tail would otherwise survive.
+            FsyncPolicy::Never => self.publish(),
             FsyncPolicy::Always => self.sync_to(lsn),
             FsyncPolicy::Group { window } => {
-                use std::sync::atomic::Ordering;
+                let window = match &self.tuner {
+                    Some(t) => {
+                        let w = t.effective_window(window);
+                        if w != window {
+                            StoreStats::bump(&self.stats.wal_commit_window_adapted);
+                        }
+                        w
+                    }
+                    None => window,
+                };
                 // Self-tuning: only wait out the batching window when at
                 // least one other committer is in flight to share the
                 // fsync with. A solo committer on an idle system syncs
@@ -327,6 +660,8 @@ impl Wal {
                 let siblings = self.committers.fetch_add(1, Ordering::AcqRel);
                 let r = if siblings == 0 {
                     StoreStats::bump(&self.stats.wal_group_solo_commits);
+                    self.sync_to(lsn)
+                } else if window.is_zero() {
                     self.sync_to(lsn)
                 } else {
                     self.commit_grouped(lsn, window)
@@ -362,8 +697,11 @@ impl Wal {
     }
 
     /// fsyncs everything appended so far if `lsn` is not yet durable.
+    /// Publishes any staged records first — this is the single chokepoint
+    /// where a leader's fsync covers every waiter's staged record.
     fn sync_to(&self, lsn: u64) -> Result<()> {
-        let inner = self.lock_inner();
+        let mut inner = self.lock_inner();
+        self.publish_locked(&mut inner)?;
         let mut flushed = self.flushed.lock();
         if *flushed >= lsn {
             return Ok(());
@@ -371,7 +709,11 @@ impl Wal {
         self.fault.check()?;
         let t0 = Instant::now();
         inner.file.sync_data().map_err(|e| io_err("wal fsync", e))?;
-        self.stats.record_fsync(t0.elapsed().as_nanos() as u64);
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.stats.record_fsync(ns);
+        if let Some(t) = &self.tuner {
+            t.note_fsync(ns);
+        }
         let target = inner.next_lsn - 1;
         StoreStats::bump(&self.stats.wal_group_commits);
         StoreStats::add(&self.stats.wal_group_commit_records, target - *flushed);
@@ -383,18 +725,18 @@ impl Wal {
 
 impl Journal for Wal {
     fn log_alloc(&self, pid: PageId) -> Result<()> {
-        let lsn = self.append(OP_ALLOC, pid, &[])?;
-        self.commit(lsn)
+        let lsn = self.append_record(OP_ALLOC, pid, &[])?;
+        self.finish(lsn)
     }
 
     fn log_free(&self, pid: PageId) -> Result<()> {
-        let lsn = self.append(OP_FREE, pid, &[])?;
-        self.commit(lsn)
+        let lsn = self.append_record(OP_FREE, pid, &[])?;
+        self.finish(lsn)
     }
 
     fn log_put(&self, pid: PageId, data: &[u8]) -> Result<()> {
-        let lsn = self.append(OP_PUT, pid, data)?;
-        self.commit(lsn)
+        let lsn = self.append_record(OP_PUT, pid, data)?;
+        self.finish(lsn)
     }
 
     fn supports_deltas(&self) -> bool {
@@ -402,8 +744,8 @@ impl Journal for Wal {
     }
 
     fn log_put_base(&self, pid: PageId, data: &[u8]) -> Result<u64> {
-        let lsn = self.append(OP_PUT_BASE, pid, data)?;
-        self.commit(lsn)?;
+        let lsn = self.append_record(OP_PUT_BASE, pid, data)?;
+        self.finish(lsn)?;
         Ok(lsn)
     }
 
@@ -417,9 +759,13 @@ impl Journal for Wal {
             body.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
             body.extend_from_slice(bytes);
         }
-        let lsn = self.append(OP_PUT_DELTA, pid, &body)?;
-        self.commit(lsn)?;
+        let lsn = self.append_record(OP_PUT_DELTA, pid, &body)?;
+        self.finish(lsn)?;
         Ok(lsn)
+    }
+
+    fn ensure_published(&self) -> Result<()> {
+        self.publish()
     }
 
     fn sync(&self) -> Result<()> {
@@ -916,6 +1262,85 @@ mod tests {
         assert!(matches!(ops[1], WalOp::PutDelta(_, 1, _)));
         assert!(report.torn);
         assert_eq!(report.next_lsn, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_tuner_sizes_the_window_from_observed_signal() {
+        let cap = Duration::from_micros(500);
+        let t = CommitTuner::new();
+        // No signal yet: trust the configured cap.
+        assert_eq!(t.effective_window(cap), cap);
+
+        // Arrivals sparser than an fsync: batching cannot win, the window
+        // collapses to zero.
+        t.arrival_ewma_ns.store(2_000_000, Ordering::Relaxed);
+        t.fsync_ewma_ns.store(100_000, Ordering::Relaxed);
+        assert_eq!(t.effective_window(cap), Duration::ZERO);
+
+        // Dense arrivals: the window is clamped to about two fsyncs...
+        t.arrival_ewma_ns.store(10_000, Ordering::Relaxed);
+        assert_eq!(t.effective_window(cap), Duration::from_nanos(200_000));
+        // ...but never stretched past the configured cap.
+        t.fsync_ewma_ns.store(10_000_000, Ordering::Relaxed);
+        assert_eq!(t.effective_window(cap), cap);
+    }
+
+    #[test]
+    fn commit_tuner_ewma_tracks_samples() {
+        // First sample seeds the average; later ones move it by 1/8 per
+        // step, so a run of identical samples converges on that value.
+        let cell = AtomicU64::new(0);
+        CommitTuner::ewma_update(&cell, 800);
+        assert_eq!(cell.load(Ordering::Relaxed), 800);
+        for _ in 0..200 {
+            CommitTuner::ewma_update(&cell, 80);
+        }
+        let settled = cell.load(Ordering::Relaxed);
+        assert!(
+            (70..=90).contains(&settled),
+            "EWMA should converge near the steady sample, got {settled}"
+        );
+    }
+
+    #[test]
+    fn adaptive_solo_committer_shrinks_the_window() {
+        // With adaptive sizing on, a lone writer's sparse arrivals teach
+        // the tuner to stop waiting: the adapted-window counter must fire
+        // once there is signal, and commits stay fast despite a huge cap.
+        let dir = tmpdir("adaptive");
+        let stats = Arc::new(StoreStats::default());
+        let w = Wal::open(
+            &dir,
+            FsyncPolicy::Group {
+                window: Duration::from_millis(250),
+            },
+            1 << 20,
+            1,
+            1,
+            Arc::new(FaultInjector::new()),
+            Arc::clone(&stats),
+        )
+        .unwrap()
+        .with_adaptive_commit(true);
+        // Seed the tuner: arrivals far sparser than fsyncs.
+        if let Some(t) = &w.tuner {
+            t.arrival_ewma_ns.store(5_000_000, Ordering::Relaxed);
+            t.fsync_ewma_ns.store(50_000, Ordering::Relaxed);
+        }
+        let t0 = Instant::now();
+        for i in 0..4 {
+            w.log_put(pid(1 + i), &[1; 8]).unwrap();
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "adapted window must not wait out the 250ms cap (took {:?})",
+            t0.elapsed()
+        );
+        assert!(
+            stats.snapshot().wal_commit_window_adapted >= 1,
+            "tuner with clear signal must adapt the window"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

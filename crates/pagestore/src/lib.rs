@@ -55,4 +55,4 @@ pub use page::{page_lsn, set_page_lsn, Page, PageId, PAGE_LSN_LEN, PAGE_LSN_OFFS
 pub use reclaim::DeferredFreeList;
 pub use session::{Session, SessionRegistry, SessionStats};
 pub use stats::{StatsSnapshot, StoreStats};
-pub use store::{PageRef, PageStore, PageWrite, StoreConfig, WriteIntent};
+pub use store::{PageRef, PageStamp, PageStore, PageWrite, StoreConfig, WriteIntent};

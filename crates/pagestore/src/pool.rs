@@ -41,7 +41,7 @@ use crate::page::PageId;
 use crate::stats::StoreStats;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,6 +51,17 @@ pub(crate) struct Frame {
     /// The page bytes. Readers hold the read latch for the lifetime of a
     /// guard; loads, write guards and eviction flushes hold the write latch.
     pub(crate) data: RwLock<Box<[u8]>>,
+    /// Seqlock word for optimistic (latch-free) reads: even = stable, odd =
+    /// a mutation is in progress. Every path that changes the frame's bytes
+    /// or its page mapping brackets the change with [`Frame::begin_write`] /
+    /// [`Frame::end_write`] while holding the write latch; an optimistic
+    /// reader snapshots the bytes between two even, equal loads.
+    version: AtomicU64,
+    /// The heap address of the page buffer, captured at construction. The
+    /// boxed slice never moves or reallocates for the frame's lifetime, so
+    /// optimistic readers can copy from it without holding `data`'s latch
+    /// (validity is established after the copy by re-checking `version`).
+    data_addr: usize,
     /// Raw id of the page whose bytes are valid in `data` (0 = none yet).
     /// Published with `Release` after a successful load/overwrite; a pinner
     /// validates it after acquiring the latch and retries on mismatch.
@@ -66,8 +77,12 @@ pub(crate) struct Frame {
 
 impl Frame {
     fn new(page_size: usize) -> Frame {
+        let data: Box<[u8]> = vec![0u8; page_size].into_boxed_slice();
+        let data_addr = data.as_ptr() as usize;
         Frame {
-            data: RwLock::new(vec![0u8; page_size].into_boxed_slice()),
+            data: RwLock::new(data),
+            version: AtomicU64::new(0),
+            data_addr,
             owner: AtomicU32::new(0),
             pins: AtomicU32::new(0),
             dirty: AtomicBool::new(false),
@@ -84,6 +99,53 @@ impl Frame {
     /// Current owner matches `pid`? (Validation after latch acquisition.)
     pub(crate) fn owned_by(&self, pid: PageId) -> bool {
         self.owner.load(Ordering::Acquire) == pid.to_raw()
+    }
+
+    /// Marks the frame unstable (even → odd). Call with the write latch
+    /// held, before the first byte of the frame changes.
+    pub(crate) fn begin_write(&self) {
+        let v = self.version.fetch_add(1, Ordering::Acquire);
+        debug_assert!(v.is_multiple_of(2), "nested begin_write");
+    }
+
+    /// Marks the frame stable again (odd → even) after a mutation.
+    pub(crate) fn end_write(&self) {
+        let v = self.version.fetch_add(1, Ordering::Release);
+        debug_assert!(v % 2 == 1, "end_write without begin_write");
+    }
+
+    /// Attempts a latch-free snapshot of the frame's bytes into `buf`.
+    /// Returns the (even) version the snapshot is tagged with, or `None`
+    /// when a writer held the frame mid-copy. The caller must still
+    /// validate the surrounding page state (owner, allocation) *and*
+    /// re-check the version via [`Frame::version_is`] after consuming the
+    /// bytes.
+    ///
+    /// Safety of the unlatched copy: the buffer never moves (`data_addr`
+    /// is captured before the `RwLock` wraps the box), reads of bytes
+    /// racing a writer are fine for `u8` copies through raw pointers, and
+    /// any torn result is discarded by the version re-check.
+    pub(crate) fn snapshot_unlatched(&self, buf: &mut [u8]) -> Option<u64> {
+        let v1 = self.version.load(Ordering::Acquire);
+        if !v1.is_multiple_of(2) {
+            return None;
+        }
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.data_addr as *const u8, buf.as_mut_ptr(), buf.len());
+        }
+        fence(Ordering::Acquire);
+        if self.version.load(Ordering::Relaxed) == v1 {
+            Some(v1)
+        } else {
+            None
+        }
+    }
+
+    /// True when the frame's version still equals `v` (and is therefore
+    /// still even: no mutation started since the matching snapshot).
+    pub(crate) fn version_is(&self, v: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.version.load(Ordering::Relaxed) == v
     }
 }
 
@@ -372,6 +434,28 @@ impl BufferPool {
                 st.meta[i].flushing = None;
             }
         }
+    }
+
+    /// Pins `pid`'s frame **only if it is already resident** — the
+    /// optimistic-read fast path. Never loads, never evicts, never blocks
+    /// on anything but the shard mutex. Returns `None` on a pool miss (the
+    /// caller falls back to the latched [`BufferPool::claim`] path).
+    pub(crate) fn pin_resident(&self, pid: PageId) -> Option<&Frame> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let shard = self.shard(pid);
+        let st = self.lock_shard(shard);
+        let &i = st.map.get(&pid)?;
+        if st.meta[i].resident != Some(pid) {
+            // Mapped only as a flushing victim: the frame now belongs to a
+            // different page.
+            return None;
+        }
+        let f = &shard.frames[i];
+        f.pins.fetch_add(1, Ordering::AcqRel);
+        f.referenced.store(true, Ordering::Relaxed);
+        Some(f)
     }
 
     /// True when `pid` currently has a frame (used by bypass paths to

@@ -218,6 +218,25 @@ store_stats! {
         heap_shard_contended,
         /// Total nanoseconds heap inserts spent waiting for a shard mutex.
         heap_shard_wait_ns,
+        /// WAL records serialized into per-thread staging slots (staging
+        /// mode only) — the appends that skipped the append mutex.
+        wal_staged_records,
+        /// Staged-batch publishes: a leader stitched the staging slots into
+        /// LSN order and issued one contiguous segment write.
+        wal_publishes,
+        /// Records covered by those publishes; divide by `wal_publishes`
+        /// for the mean stitch batch size.
+        wal_publish_records,
+        /// Group-commit windows whose wait was resized by the adaptive
+        /// tuner (shortened for sparse arrivals, stretched toward the
+        /// fsync cost for dense ones).
+        wal_commit_window_adapted,
+        /// Upper-level index descents served by an optimistic (latch-free)
+        /// frame snapshot that validated clean.
+        optimistic_reads,
+        /// Optimistic snapshot attempts that fell back to the latched read
+        /// path (non-resident page, writer in the window, owner moved).
+        optimistic_read_fallbacks,
     }
     hists {
         /// Individual paper-lock waits (contended acquisitions only).

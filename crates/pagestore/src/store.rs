@@ -292,6 +292,18 @@ impl Drop for PageRef<'_> {
     }
 }
 
+/// Token returned by [`PageStore::read_unlatched`]: identifies the frame
+/// that served the optimistic snapshot and the seqlock version it was
+/// validated at. Pass back to [`PageStore::stamp_valid`] to check that the
+/// snapshot is still current before acting on it.
+#[derive(Debug, Clone, Copy)]
+pub struct PageStamp {
+    /// `*const Frame` as usize; frames live as long as the store.
+    frame: usize,
+    /// The even seqlock version the snapshot validated against.
+    version: u64,
+}
+
 /// How [`PageStore::write_page`] should initialize the write buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteIntent {
@@ -451,6 +463,7 @@ impl PageWrite<'_> {
                         if let Some(lsn) = lsn {
                             set_page_lsn(guard.as_mut().expect("live guard"), lsn);
                         }
+                        frame.end_write();
                         frame
                             .dirty
                             .store(true, std::sync::atomic::Ordering::Release);
@@ -460,6 +473,7 @@ impl PageWrite<'_> {
                     }
                     Err(e) => {
                         guard.as_mut().expect("live guard").copy_from_slice(&undo);
+                        frame.end_write();
                         drop(guard);
                         frame.unpin();
                         Err(e)
@@ -486,6 +500,7 @@ impl PageWrite<'_> {
                         if let Some(lsn) = lsn {
                             set_page_lsn(guard.as_mut().expect("live guard"), lsn);
                         }
+                        frame.end_write();
                         frame
                             .dirty
                             .store(true, std::sync::atomic::Ordering::Release);
@@ -498,6 +513,7 @@ impl PageWrite<'_> {
                         Ok(())
                     }
                     Err(e) => {
+                        frame.end_write();
                         drop(guard);
                         store.pool.abort_miss(pid, idx); // unpins
                         Err(e)
@@ -525,13 +541,17 @@ impl Drop for PageWrite<'_> {
             WriteInner::Hit { frame, guard, undo } => {
                 if let Some(mut g) = guard.take() {
                     g.copy_from_slice(undo);
+                    frame.end_write();
                     drop(g);
                     frame.unpin();
                 }
             }
-            WriteInner::Miss { idx, guard, .. } => {
+            WriteInner::Miss { frame, idx, guard } => {
                 let idx = *idx;
-                drop(guard.take());
+                if let Some(g) = guard.take() {
+                    frame.end_write();
+                    drop(g);
+                }
                 self.store.pool.abort_miss(self.pid, idx);
             }
             WriteInner::Owned(_) => {}
@@ -658,6 +678,9 @@ impl PageStore {
     /// holds; callers that need the log durable first (checkpoint) sync the
     /// journal before calling this — [`PageStore::sync`] does.
     pub fn flush(&self) -> Result<()> {
+        // Write-ahead barrier: a staged journal must have every accepted
+        // record in the log file before any frame bytes reach the backend.
+        self.publish_journal()?;
         let mut first_err = None;
         for (frame, pid) in self.pool.pin_dirty() {
             let r = (|| -> Result<()> {
@@ -749,6 +772,17 @@ impl PageStore {
             StoreStats::bump(&self.stats.wal_records);
         }
         Ok(())
+    }
+
+    /// Write-ahead barrier before a backend page write (see
+    /// [`Journal::ensure_published`]): forces a staging journal to land
+    /// every accepted record in the log file first. No-op for unstaged
+    /// journals and journal-less stores.
+    fn publish_journal(&self) -> Result<()> {
+        match &self.journal {
+            Some(j) => j.ensure_published(),
+            None => Ok(()),
+        }
     }
 
     /// Starts a new checkpoint epoch: the next journaled write of every
@@ -858,6 +892,7 @@ impl PageStore {
             debug_assert!(!*allocated, "page on free list was allocated");
             let r = self
                 .log(|j| j.log_alloc(pid))
+                .and_then(|()| self.publish_journal())
                 .and_then(|()| self.backend.write(pid.index(), &self.zero));
             if let Err(e) = r {
                 drop(allocated);
@@ -1012,6 +1047,59 @@ impl PageStore {
         Ok(self.read(pid)?.to_page())
     }
 
+    /// Optimistic latch-free read: copies `pid`'s image out of its resident
+    /// frame **without taking the frame latch**, validating the copy with
+    /// the frame's seqlock. On success `buf` holds a consistent snapshot
+    /// and the returned [`PageStamp`] lets the caller revalidate later
+    /// (via [`PageStore::stamp_valid`]) that no writer has touched the
+    /// page since — the version-coupling step of an optimistic descent.
+    ///
+    /// Returns `Ok(None)` whenever the fast path cannot be taken safely
+    /// (page not resident, frame mid-mutation or repurposed, pool
+    /// disabled); the caller falls back to a latched [`PageStore::read`].
+    pub fn read_unlatched(&self, pid: PageId, buf: &mut [u8]) -> Result<Option<PageStamp>> {
+        debug_assert_eq!(buf.len(), self.cfg.page_size);
+        let Some(frame) = self.pool.pin_resident(pid) else {
+            StoreStats::bump(&self.stats.optimistic_read_fallbacks);
+            return Ok(None);
+        };
+        // While pinned the frame cannot be repurposed, so `owner` is
+        // stable; the seqlock validates the bytes themselves.
+        let version = match frame.snapshot_unlatched(buf) {
+            Some(v) if frame.owned_by(pid) => Some(v),
+            _ => None,
+        };
+        let addr = frame as *const Frame as usize;
+        frame.unpin();
+        let Some(version) = version else {
+            StoreStats::bump(&self.stats.optimistic_read_fallbacks);
+            return Ok(None);
+        };
+        // A freed page's frame is discarded before the pid can be
+        // reallocated; surface the free instead of serving garbage.
+        if !*self.slot(pid)?.allocated.lock() {
+            return Err(StoreError::PageFreed(pid));
+        }
+        StoreStats::bump(&self.stats.gets);
+        StoreStats::bump(&self.stats.optimistic_reads);
+        Ok(Some(PageStamp {
+            frame: addr,
+            version,
+        }))
+    }
+
+    /// Revalidates an earlier [`PageStore::read_unlatched`]: true iff the
+    /// frame still holds `pid`'s image at the stamped version, i.e. no
+    /// writer has begun mutating the page since the snapshot was taken.
+    pub fn stamp_valid(&self, pid: PageId, stamp: &PageStamp) -> bool {
+        // Frames are allocated once at pool construction and never move or
+        // free while the store lives, so the raw address stays valid. Any
+        // repurposing of the frame bumps its version (loads bracket the
+        // fill with begin/end_write), which fails `version_is`.
+        let frame = unsafe { &*(stamp.frame as *const Frame) };
+        frame.version_is(stamp.version) && frame.owned_by(pid)
+    }
+
     /// Populates a freshly claimed frame: writes the dirty victim back (its
     /// WAL record predates its dirty bit — write-ahead holds), then reads
     /// `pid` under its slot latch. Publishes `owner` on success. Rolls the
@@ -1036,7 +1124,10 @@ impl PageStore {
                 Err(StoreError::PageFreed(pid))
             } else {
                 self.simulate_io();
-                self.backend.read(pid.index(), &mut buf)
+                frame.begin_write();
+                let r = self.backend.read(pid.index(), &mut buf);
+                frame.end_write();
+                r
             }
         };
         if let Err(e) = r {
@@ -1089,6 +1180,7 @@ impl PageStore {
         let slot = self.slot(old)?;
         let allocated = slot.allocated.lock();
         if *allocated && self.pool.still_flushing(old, idx) {
+            self.publish_journal()?;
             self.simulate_io();
             self.backend.write(old.index(), bytes)?;
             StoreStats::bump(&self.stats.dirty_writebacks);
@@ -1171,7 +1263,9 @@ impl PageStore {
                         frame.unpin();
                         return Err(e);
                     }
+                    frame.begin_write();
                     guard.copy_from_slice(data);
+                    frame.end_write();
                     frame
                         .dirty
                         .store(true, std::sync::atomic::Ordering::Release);
@@ -1209,7 +1303,9 @@ impl PageStore {
                     }
                     // A full overwrite needs no backend read: the frame
                     // image *is* the page now.
+                    frame.begin_write();
                     guard.copy_from_slice(data);
+                    frame.end_write();
                     frame
                         .dirty
                         .store(true, std::sync::atomic::Ordering::Release);
@@ -1244,6 +1340,7 @@ impl PageStore {
             return Ok(false);
         }
         self.log_page_write(pid, slot, data, None)?;
+        self.publish_journal()?;
         self.simulate_io();
         self.backend.write(pid.index(), data)?;
         Ok(true)
@@ -1284,6 +1381,10 @@ impl PageStore {
                         return Err(StoreError::PageFreed(pid));
                     }
                     let undo = guard.to_vec().into_boxed_slice();
+                    // Seqlock window: open before the first byte changes;
+                    // commit/rollback closes it (the caller mutates the
+                    // frame through the guard until then).
+                    frame.begin_write();
                     if intent == WriteIntent::Overwrite {
                         guard.fill(0);
                     }
@@ -1317,6 +1418,9 @@ impl PageStore {
                         drop(guard);
                         return Err(e);
                     }
+                    // Seqlock window: open before the first byte changes;
+                    // commit/rollback closes it.
+                    frame.begin_write();
                     let r = {
                         let allocated = slot.allocated.lock();
                         if !*allocated {
@@ -1335,6 +1439,7 @@ impl PageStore {
                         }
                     };
                     if let Err(e) = r {
+                        frame.end_write();
                         drop(guard);
                         self.pool.abort_miss(pid, idx);
                         return Err(e);
