@@ -14,6 +14,8 @@
 //! * [`api`] — a small trait ([`api::ConcurrentIndex`]) unifying the trees
 //!   so the experiment harness can drive them interchangeably.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod lehman_yao;
 pub mod topdown;

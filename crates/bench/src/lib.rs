@@ -5,7 +5,10 @@
 //! records paper-vs-measured in EXPERIMENTS.md. Set `QUICK=1` to shrink the
 //! workloads ~10× for smoke runs.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
+pub mod lint;
 
 use blink_baselines::{ConcurrentIndex, LehmanYaoTree, TopDownTree};
 use blink_pagestore::{PageStore, StoreConfig};

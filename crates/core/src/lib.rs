@@ -50,6 +50,8 @@
 //! compression: [`compress::daemon::CompressorPool`] (queue workers) or
 //! [`compress::daemon::ScannerDaemon`] (periodic passes).
 
+#![forbid(unsafe_code)]
+
 pub mod compress;
 pub mod config;
 pub mod counters;

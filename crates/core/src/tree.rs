@@ -37,14 +37,14 @@ pub enum InsertOutcome {
 #[derive(Default)]
 pub struct OptimisticTestHook {
     armed: std::sync::atomic::AtomicBool,
-    f: std::sync::Mutex<Option<Box<dyn FnMut() + Send>>>,
+    f: parking_lot::Mutex<Option<Box<dyn FnMut() + Send>>>,
 }
 
 impl OptimisticTestHook {
     /// Arms the hook with a closure to run inside the next validation
     /// window.
     pub fn arm(&self, f: Box<dyn FnMut() + Send>) {
-        *self.f.lock().expect("hook poisoned") = Some(f);
+        *self.f.lock() = Some(f);
         self.armed.store(true, std::sync::atomic::Ordering::Release);
     }
 
@@ -52,11 +52,30 @@ impl OptimisticTestHook {
         if self.armed.load(std::sync::atomic::Ordering::Relaxed)
             && self.armed.swap(false, std::sync::atomic::Ordering::AcqRel)
         {
-            if let Some(mut f) = self.f.lock().expect("hook poisoned").take() {
+            if let Some(mut f) = self.f.lock().take() {
+                // The closure plays a *different* process interleaved onto
+                // this thread mid-validation-window; park the thread-local
+                // snapshot-discipline state for its duration.
+                let _pause = blink_pagestore::audit::pause_snapshot_audit();
                 f();
             }
         }
     }
+}
+
+/// Teaches the pagestore's latch auditor (the `latch-audit` feature) to read
+/// a tree node's level out of raw frame bytes, so the frame-latch level rule
+/// (descend top-down; same level only left-to-right while overtaking) can be
+/// checked against real page contents. Registered once per process; a no-op
+/// when the feature is off.
+fn register_audit_level_probe() {
+    blink_pagestore::audit::register_level_probe(|b| {
+        if b.len() >= 4 && u16::from_le_bytes([b[0], b[1]]) == crate::node::MAGIC {
+            Some(b[3])
+        } else {
+            None
+        }
+    });
 }
 
 impl std::fmt::Debug for OptimisticTestHook {
@@ -96,6 +115,7 @@ impl BLinkTree {
     /// that is the initial root.
     pub fn create(store: Arc<PageStore>, cfg: TreeConfig) -> Result<Arc<BLinkTree>> {
         cfg.validate(store.page_size())?;
+        register_audit_level_probe();
         let clock = Arc::new(LogicalClock::new());
         let registry = SessionRegistry::new(Arc::clone(&clock));
         let prime_pid = store.alloc()?;
@@ -130,6 +150,7 @@ impl BLinkTree {
         prime_pid: PageId,
     ) -> Result<Arc<BLinkTree>> {
         cfg.validate(store.page_size())?;
+        register_audit_level_probe();
         let prime = PrimeBlock::decode(&store.read(prime_pid)?)?;
         let root = Node::decode(&store.read(prime.root)?)?;
         if !root.is_root || root.deleted {
@@ -162,6 +183,7 @@ impl BLinkTree {
         prime_pid: PageId,
     ) -> Result<Arc<BLinkTree>> {
         cfg.validate(store.page_size())?;
+        register_audit_level_probe();
         let clock = Arc::new(LogicalClock::new());
         let registry = SessionRegistry::new(Arc::clone(&clock));
         Ok(Arc::new(BLinkTree {

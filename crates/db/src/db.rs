@@ -4,12 +4,14 @@ use crate::config::DbConfig;
 use crate::metrics::{MetricsSnapshot, OpHists};
 use crate::scan::DbScan;
 use blink_durable::{DurableConfig, DurableStore};
+use blink_pagestore::audit::{self, Audited, LockClass};
 use blink_pagestore::{
     HeapConfig, PageId, PageStore, RecordHeap, RecordId, Session, StoreConfig, StoreError,
 };
+use parking_lot::{Mutex, MutexGuard};
 use sagiv_blink::{BLinkTree, Result, TreeError, VerifyReport};
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Bounded retries for the read-side race where a record is freed between
 /// the index lookup and the heap fetch (the re-read converges: the index
@@ -255,21 +257,27 @@ impl Db {
     pub fn get_with<R>(&self, key: u64, f: impl FnMut(&[u8]) -> R) -> Result<Option<R>> {
         let t0 = self.op_hists.start();
         let mut session = self
-            .read_sessions
-            .lock()
-            .expect("read-session pool poisoned")
+            .lock_sessions()
             .pop()
             .unwrap_or_else(|| self.tree.session());
         let r = get_with_session(self, &mut session, key, f);
-        let mut pool = self
-            .read_sessions
-            .lock()
-            .expect("read-session pool poisoned");
+        let mut pool = self.lock_sessions();
         if pool.len() < READ_SESSION_POOL {
             pool.push(session);
         }
         OpHists::finish(&self.op_hists.get, t0);
         r
+    }
+
+    /// Locks the pooled read-session vector. Sole lock site for
+    /// `Db::read_sessions` (audited as `SessionPool`, a leaf class: nothing
+    /// may be acquired while it is held).
+    fn lock_sessions(&self) -> Audited<MutexGuard<'_, Vec<Session>>> {
+        audit::audited(
+            LockClass::SessionPool,
+            &self.read_sessions as *const Mutex<Vec<Session>> as usize,
+            || self.read_sessions.lock(),
+        )
     }
 
     /// What the last [`Db::open`] recovery did (`None` for in-memory

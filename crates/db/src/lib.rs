@@ -48,6 +48,8 @@
 //! Durable: `Db::open(DbConfig::durable("/path/to/db"))` — created on
 //! first open, WAL-replayed and index/heap-reconciled on every later one.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod db;
 pub mod metrics;

@@ -51,6 +51,8 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod crc;
 pub mod fault;

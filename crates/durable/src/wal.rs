@@ -56,8 +56,9 @@
 
 use crate::crc::Crc32;
 use crate::fault::FaultInjector;
+use blink_pagestore::audit::{self, Audited, LockClass};
 use blink_pagestore::{DeltaRange, Journal, PageId, Result, StoreError, StoreStats};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -148,8 +149,12 @@ struct WalInner {
     next_lsn: u64,
 }
 
-/// One staging slot: encoded records tagged with their claimed LSNs.
-type StagingSlot = Mutex<Vec<(u64, Vec<u8>)>>;
+/// The contents of one staging slot: encoded records tagged with their
+/// claimed LSNs.
+type StagedEntries = Vec<(u64, Vec<u8>)>;
+
+/// One staging slot.
+type StagingSlot = Mutex<StagedEntries>;
 
 /// Per-thread staging slots (striped by a thread ticket). Between them and
 /// the append mutex sits the staging protocol:
@@ -304,15 +309,67 @@ impl Wal {
     /// append-wait histogram. Under `FsyncPolicy::Always` this mutex is
     /// held across the commit fsync ([`Wal::sync_to`]), so with concurrent
     /// writers its waits are the write path's dominant serialization.
-    fn lock_inner(&self) -> parking_lot::MutexGuard<'_, WalInner> {
-        if let Some(g) = self.inner.try_lock() {
-            return g;
-        }
-        let t0 = Instant::now();
-        let g = self.inner.lock();
-        self.stats
-            .record_wal_append_wait(t0.elapsed().as_nanos() as u64);
-        g
+    /// The only place `Wal::inner` is locked: every acquisition registers
+    /// with the latch auditor as `WalAppend` (staging slots and the commit
+    /// window may nest inside it, nothing else).
+    fn lock_inner(&self) -> Audited<MutexGuard<'_, WalInner>> {
+        audit::audited(
+            LockClass::WalAppend,
+            &self.inner as *const Mutex<WalInner> as usize,
+            || {
+                if let Some(g) = self.inner.try_lock() {
+                    return g;
+                }
+                let t0 = Instant::now();
+                let g = self.inner.lock();
+                self.stats
+                    .record_wal_append_wait(t0.elapsed().as_nanos() as u64);
+                g
+            },
+        )
+    }
+
+    /// The only place a staging slot is locked: registers as `WalSlot`.
+    /// `timed` selects the staging path's contended-wait attribution (the
+    /// publish leader's drain loop under the append mutex stays untimed,
+    /// exactly as before the auditor).
+    fn lock_slot<'a>(
+        &self,
+        slot: &'a StagingSlot,
+        timed: bool,
+    ) -> Audited<MutexGuard<'a, StagedEntries>> {
+        audit::audited(
+            LockClass::WalSlot,
+            slot as *const StagingSlot as usize,
+            || {
+                match slot.try_lock() {
+                    Some(g) => g,
+                    None => {
+                        // A publisher (or a ticket collision) holds the slot:
+                        // attribute the wait where exp16 already looks for
+                        // append serialization.
+                        let t0 = Instant::now();
+                        let g = slot.lock();
+                        if timed {
+                            self.stats
+                                .record_wal_append_wait(t0.elapsed().as_nanos() as u64);
+                        }
+                        g
+                    }
+                }
+            },
+        )
+    }
+
+    /// The only place the group-commit window (`Wal::flushed`) is locked:
+    /// registers as `CommitWindow` (a leaf; `commit_grouped` waits on the
+    /// flush condvar through it).
+    fn lock_flushed(&self) -> Audited<MutexGuard<'_, u64>> {
+        audit::audited(
+            LockClass::CommitWindow,
+            &self.flushed as *const Mutex<u64> as usize,
+            || self.flushed.lock(),
+        )
     }
 
     /// Opens the log for appending: continues segment `seg_seq` at
@@ -412,13 +469,13 @@ impl Wal {
     pub fn appended_lsn(&self) -> u64 {
         match &self.staging {
             Some(st) => st.next_lsn.load(Ordering::Acquire) - 1,
-            None => self.inner.lock().next_lsn - 1,
+            None => self.lock_inner().next_lsn - 1,
         }
     }
 
     /// Sequence number of the segment currently being appended.
     pub fn current_segment(&self) -> u64 {
-        self.inner.lock().seg_seq
+        self.lock_inner().seg_seq
     }
 
     /// Appends one record; returns its LSN. The record is *logged* (or
@@ -459,19 +516,7 @@ impl Wal {
     /// still observe exact record-boundary prefixes.
     fn stage(&self, st: &StagingState, op: u8, pid: PageId, data: &[u8]) -> Result<u64> {
         let slot = &st.slots[staging_slot_index(st.slots.len())];
-        let mut entries = match slot.try_lock() {
-            Some(g) => g,
-            None => {
-                // A publisher (or a ticket collision) holds the slot:
-                // attribute the wait where exp16 already looks for append
-                // serialization.
-                let t0 = Instant::now();
-                let g = slot.lock();
-                self.stats
-                    .record_wal_append_wait(t0.elapsed().as_nanos() as u64);
-                g
-            }
-        };
+        let mut entries = self.lock_slot(slot, true);
         self.fault.on_wal_record()?;
         let lsn = st.next_lsn.fetch_add(1, Ordering::AcqRel);
         let buf = encode_record(lsn, op, pid, data);
@@ -513,7 +558,7 @@ impl Wal {
         }
         let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
         for slot in st.slots.iter() {
-            let mut entries = slot.lock();
+            let mut entries = self.lock_slot(slot, false);
             let mut i = 0;
             while i < entries.len() {
                 if entries[i].0 < cut {
@@ -628,7 +673,7 @@ impl Wal {
     /// checkpointing: records before the returned segment can be discarded
     /// once the checkpoint metadata is durable.
     pub fn rotate_for_checkpoint(&self) -> Result<(u64, u64)> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         self.publish_locked(&mut inner)?;
         self.rotate(&mut inner)?;
         Ok((inner.seg_seq, inner.next_lsn))
@@ -678,9 +723,13 @@ impl Wal {
         let t0 = Instant::now();
         let deadline = t0 + window;
         {
-            let mut flushed = self.flushed.lock();
+            let mut flushed = self.lock_flushed();
             while *flushed < lsn {
-                if self.flush_cv.wait_until(&mut flushed, deadline).timed_out() {
+                if self
+                    .flush_cv
+                    .wait_until(flushed.guard_mut(), deadline)
+                    .timed_out()
+                {
                     break;
                 }
             }
@@ -702,7 +751,7 @@ impl Wal {
     fn sync_to(&self, lsn: u64) -> Result<()> {
         let mut inner = self.lock_inner();
         self.publish_locked(&mut inner)?;
-        let mut flushed = self.flushed.lock();
+        let mut flushed = self.lock_flushed();
         if *flushed >= lsn {
             return Ok(());
         }

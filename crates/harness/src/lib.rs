@@ -7,6 +7,8 @@
 //! [`kv`] module does the same for the full `Db` KV stack, including
 //! streaming scan cursors.
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod kv;
 pub mod linearize;

@@ -95,11 +95,12 @@
 //!   them. A detached page whose last record is freed is released to the
 //!   store immediately; an open one is handled by its shard at rotation.
 
+use crate::audit::{self, Audited, LockClass};
 use crate::error::{Result, StoreError};
 use crate::page::{Page, PageId};
 use crate::stats::StoreStats;
 use crate::store::{PageStore, WriteIntent};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -365,6 +366,7 @@ impl RecordHeap {
         heap.gen.store(max_gen, Ordering::Relaxed);
         // Normalize allocator states (quiesced store; one journaled write
         // per page that needs it — typically a handful of crash leftovers).
+        let mut requeue = Vec::new();
         for &pid in &inv.pages {
             let mut w = heap.store.write_page(pid, WriteIntent::Update)?;
             let (sane, reusable, state) = {
@@ -392,9 +394,14 @@ impl RecordHeap {
                 w.commit()?;
             }
             if reusable {
-                heap.recycle.lock().push_back(pid);
+                // Deferred past the loop so the recycle queue (a leaf lock
+                // class) is never taken while `w`'s frame latch is held.
+                requeue.push(pid);
             }
         }
+        let mut rq = heap.lock_recycle();
+        rq.extend(requeue);
+        drop(rq);
         Ok((heap, inv))
     }
 
@@ -464,7 +471,7 @@ impl RecordHeap {
     /// Gauge: pages currently enqueued for re-adoption (may include stale
     /// entries that the next pop will discard).
     pub fn queued_page_count(&self) -> usize {
-        self.recycle.lock().len()
+        self.lock_recycle().len()
     }
 
     /// Number of insertion shards.
@@ -489,6 +496,40 @@ impl RecordHeap {
         (self.gen.fetch_add(1, Ordering::Relaxed) % 0xFFFF) as u16 + 1
     }
 
+    /// The only place the recycle queue is locked: registers with the
+    /// latch auditor as `HeapRecycle` (a leaf — callers pop/push in a
+    /// single statement, or under the shard they already hold).
+    fn lock_recycle(&self) -> Audited<MutexGuard<'_, std::collections::VecDeque<PageId>>> {
+        audit::audited(
+            LockClass::HeapRecycle,
+            &self.recycle as *const Mutex<std::collections::VecDeque<PageId>> as usize,
+            || self.recycle.lock(),
+        )
+    }
+
+    /// The only place a shard's open-page slot is locked: registers as
+    /// `HeapShard`. The auditor enforces at most one per thread, and the
+    /// whitelist lets the whole placement (frame write latch → slot latch
+    /// → WAL, plus alloc and adoption) nest under it. Times only the
+    /// contended path into the heap-wait histogram.
+    fn lock_open<'a>(&self, shard: &'a Shard) -> Audited<MutexGuard<'a, Option<PageId>>> {
+        audit::audited(LockClass::HeapShard, shard as *const Shard as usize, || {
+            match shard.open.try_lock() {
+                Some(g) => g,
+                None => {
+                    let t0 = Instant::now();
+                    let g = shard.open.lock();
+                    // Counted into the bucketed wait histogram too, so a
+                    // windowed snapshot delta shows the tail, not just a sum.
+                    self.store
+                        .stats()
+                        .record_heap_wait(t0.elapsed().as_nanos() as u64);
+                    g
+                }
+            }
+        })
+    }
+
     /// Stores `data` and returns its id. Contends only with inserts on the
     /// same shard (thread identity picks the shard), never with `update`,
     /// `free`, or reads.
@@ -500,19 +541,7 @@ impl RecordHeap {
             });
         }
         let shard = &self.shards[thread_ticket() % self.shards.len()];
-        let mut open = match shard.open.try_lock() {
-            Some(g) => g,
-            None => {
-                let t0 = Instant::now();
-                let g = shard.open.lock();
-                // Counted into the bucketed wait histogram too, so a
-                // windowed snapshot delta shows the tail, not just a sum.
-                self.store
-                    .stats()
-                    .record_heap_wait(t0.elapsed().as_nanos() as u64);
-                g
-            }
-        };
+        let mut open = self.lock_open(shard);
         self.insert_open(&mut open, data)
     }
 
@@ -539,7 +568,7 @@ impl RecordHeap {
         let mut adopted = None;
         let mut failed = None;
         for _ in 0..ADOPT_SCAN {
-            let Some(pid) = self.recycle.lock().pop_front() else {
+            let Some(pid) = self.lock_recycle().pop_front() else {
                 break;
             };
             match self.place(pid, data, true) {
@@ -557,7 +586,7 @@ impl RecordHeap {
             }
         }
         if !skipped.is_empty() {
-            let mut q = self.recycle.lock();
+            let mut q = self.lock_recycle();
             for pid in skipped {
                 q.push_back(pid);
             }
@@ -710,7 +739,7 @@ impl RecordHeap {
         put_u16(&mut w, 10, state);
         w.commit()?;
         if state == STATE_QUEUED {
-            self.recycle.lock().push_back(pid);
+            self.lock_recycle().push_back(pid);
         }
         Ok(())
     }
@@ -853,7 +882,7 @@ impl RecordHeap {
         w.commit()?;
         self.live.fetch_sub(1, Ordering::Relaxed);
         if enqueue {
-            self.recycle.lock().push_back(pid);
+            self.lock_recycle().push_back(pid);
         }
         Ok(())
     }

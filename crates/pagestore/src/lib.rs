@@ -30,7 +30,13 @@
 //!   Lehman–Yao protocols never need them; they exist for the top-down
 //!   (Bayer–Schkolnick-style) baseline the paper's introduction compares
 //!   against.
+//! * [`audit`] (behind the `latch-audit` feature) machine-checks the latch
+//!   protocol at runtime: lock-class order, frame-latch level coupling with
+//!   the overtaking exception, and seqlock/snapshot discipline.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod audit;
 pub mod backend;
 pub mod clock;
 pub mod error;

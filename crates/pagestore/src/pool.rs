@@ -37,6 +37,7 @@
 //! backend/journal*, and shard mutexes may be taken at any point because
 //! they never wait on anything above them.
 
+use crate::audit::{self, Audited, LockClass};
 use crate::page::PageId;
 use crate::stats::StoreStats;
 use parking_lot::{Mutex, MutexGuard, RwLock};
@@ -103,15 +104,30 @@ impl Frame {
 
     /// Marks the frame unstable (even → odd). Call with the write latch
     /// held, before the first byte of the frame changes.
+    ///
+    /// The pairing checks are `debug_assert!`s in ordinary builds but stay
+    /// on in release under `latch-audit`, so release-mode stress runs still
+    /// catch nested/unpaired writes.
     pub(crate) fn begin_write(&self) {
+        crate::audit::seqlock_write_begin(self.audit_addr());
         let v = self.version.fetch_add(1, Ordering::Acquire);
-        debug_assert!(v.is_multiple_of(2), "nested begin_write");
+        if cfg!(debug_assertions) || cfg!(feature = "latch-audit") {
+            assert!(v.is_multiple_of(2), "nested begin_write");
+        }
     }
 
     /// Marks the frame stable again (odd → even) after a mutation.
     pub(crate) fn end_write(&self) {
         let v = self.version.fetch_add(1, Ordering::Release);
-        debug_assert!(v % 2 == 1, "end_write without begin_write");
+        if cfg!(debug_assertions) || cfg!(feature = "latch-audit") {
+            assert!(v % 2 == 1, "end_write without begin_write");
+        }
+    }
+
+    /// The frame's identity for the latch auditor: its own address (frames
+    /// are allocated once at pool construction and never move).
+    pub(crate) fn audit_addr(&self) -> usize {
+        self as *const Frame as usize
     }
 
     /// Attempts a latch-free snapshot of the frame's bytes into `buf`.
@@ -130,6 +146,13 @@ impl Frame {
         if !v1.is_multiple_of(2) {
             return None;
         }
+        // SAFETY: `data_addr` points at this frame's heap buffer, which is
+        // allocated once in `Frame::new`, is never reallocated or freed
+        // while the frame (and thus `self`) is alive, and is at least
+        // `page_size ≥ buf.len()` bytes. A writer may be mutating the
+        // buffer concurrently, but byte-sized reads through raw pointers
+        // cannot fault, and any torn copy is discarded by the version
+        // re-check below (and again by the caller's `version_is`).
         unsafe {
             std::ptr::copy_nonoverlapping(self.data_addr as *const u8, buf.as_mut_ptr(), buf.len());
         }
@@ -233,15 +256,19 @@ impl BufferPool {
 
     /// Acquires a shard mutex, timing only the contended (slow) path into
     /// the pool-wait histogram — the uncontended `try_lock` costs nothing
-    /// beyond the acquisition itself.
-    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
-        if let Some(g) = shard.state.try_lock() {
-            return g;
-        }
-        let t0 = Instant::now();
-        let g = shard.state.lock();
-        self.stats.record_pool_wait(t0.elapsed().as_nanos() as u64);
-        g
+    /// beyond the acquisition itself. The only place `Shard::state` is
+    /// locked: every acquisition registers with the latch auditor as a
+    /// `PoolShard` (a leaf class — nothing may be acquired under it).
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> Audited<MutexGuard<'a, ShardState>> {
+        audit::audited(LockClass::PoolShard, shard as *const Shard as usize, || {
+            if let Some(g) = shard.state.try_lock() {
+                return g;
+            }
+            let t0 = Instant::now();
+            let g = shard.state.lock();
+            self.stats.record_pool_wait(t0.elapsed().as_nanos() as u64);
+            g
+        })
     }
 
     /// Total frames.

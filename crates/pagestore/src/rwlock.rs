@@ -74,6 +74,7 @@ impl RwLockTable {
         }
         st.readers += 1;
         drop(st);
+        crate::audit::acquire_manual(crate::audit::LockClass::RwPage, Arc::as_ptr(&e) as usize);
         StoreStats::bump(&stats.rw_shared_acquires);
         session.note_lock(pid);
     }
@@ -81,6 +82,7 @@ impl RwLockTable {
     /// Releases a shared lock.
     pub fn unlock_shared(&self, pid: PageId, session: &mut Session) {
         let e = self.entry(pid);
+        crate::audit::release_manual(crate::audit::LockClass::RwPage, Arc::as_ptr(&e) as usize);
         session.note_unlock(pid);
         let mut st = e.st.lock();
         assert!(st.readers > 0, "unlock_shared with no readers on {pid}");
@@ -108,6 +110,7 @@ impl RwLockTable {
         }
         st.writer = true;
         drop(st);
+        crate::audit::acquire_manual(crate::audit::LockClass::RwPage, Arc::as_ptr(&e) as usize);
         StoreStats::bump(&stats.rw_exclusive_acquires);
         session.note_lock(pid);
     }
@@ -115,6 +118,7 @@ impl RwLockTable {
     /// Releases an exclusive lock.
     pub fn unlock_exclusive(&self, pid: PageId, session: &mut Session) {
         let e = self.entry(pid);
+        crate::audit::release_manual(crate::audit::LockClass::RwPage, Arc::as_ptr(&e) as usize);
         session.note_unlock(pid);
         let mut st = e.st.lock();
         assert!(st.writer, "unlock_exclusive with no writer on {pid}");

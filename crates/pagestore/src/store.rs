@@ -29,6 +29,10 @@
 //! Pool shard mutexes are leaves and may be taken at any point. All backend
 //! I/O for a page happens under that page's slot latch, which serializes
 //! loads, write-backs, bypass accesses and alloc-zeroing of the same page.
+//! The `latch-audit` feature checks this order (and the frame-latch level
+//! rule) at runtime — see [`crate::audit`]; every lock site below goes
+//! through an audited wrapper (`latch_read`/`latch_write`, `Slot::latch`,
+//! `slots_read`/`slots_write`, `lock_free`).
 //!
 //! An optional per-access delay (`StoreConfig::io_delay`) simulates the
 //! latency of a real disk/SSD block access on every **backend** access
@@ -36,6 +40,7 @@
 //! locks across I/O — the effect the paper's lock-count argument is about —
 //! remains observable in experiments. Frame hits skip it.
 
+use crate::audit::{self, Audited, LockClass};
 use crate::backend::{MemBackend, PageBackend};
 use crate::error::{Result, StoreError};
 use crate::journal::Journal;
@@ -44,7 +49,7 @@ use crate::page::{Page, PageId};
 use crate::pool::{BufferPool, Claim, Frame};
 use crate::session::Session;
 use crate::stats::StoreStats;
-use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::ops::Deref;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -139,6 +144,16 @@ impl PaperLock {
         }
     }
 
+    /// Registers a successful acquisition with the latch auditor. Paper
+    /// locks are not RAII (the protocols release them in different scopes),
+    /// so the registration is manual and [`PaperLock::unlock`] undoes it.
+    /// The internal `owner` mutex is an implementation detail (held only
+    /// for the handful of instructions around the state change) and is
+    /// deliberately not a [`LockClass`] of its own.
+    fn note_acquired(&self) {
+        audit::acquire_manual(LockClass::PaperLock, self as *const PaperLock as usize);
+    }
+
     /// Blocks until the lock is acquired. Returns nanoseconds spent waiting
     /// (0 when uncontended).
     fn lock(&self, sid: u64) -> u64 {
@@ -146,6 +161,8 @@ impl PaperLock {
         assert_ne!(*owner, Some(sid), "session {sid} attempted recursive lock");
         if owner.is_none() {
             *owner = Some(sid);
+            drop(owner);
+            self.note_acquired();
             return 0;
         }
         let t0 = Instant::now();
@@ -153,6 +170,8 @@ impl PaperLock {
             self.cv.wait(&mut owner);
         }
         *owner = Some(sid);
+        drop(owner);
+        self.note_acquired();
         t0.elapsed().as_nanos() as u64
     }
 
@@ -160,6 +179,8 @@ impl PaperLock {
         let mut owner = self.owner.lock();
         if owner.is_none() {
             *owner = Some(sid);
+            drop(owner);
+            self.note_acquired();
             true
         } else {
             false
@@ -172,6 +193,8 @@ impl PaperLock {
         let mut owner = self.owner.lock();
         if owner.is_none() {
             *owner = Some(sid);
+            drop(owner);
+            self.note_acquired();
             return Some(0);
         }
         let t0 = Instant::now();
@@ -182,6 +205,8 @@ impl PaperLock {
             }
         }
         *owner = Some(sid);
+        drop(owner);
+        self.note_acquired();
         Some(t0.elapsed().as_nanos() as u64)
     }
 
@@ -195,6 +220,7 @@ impl PaperLock {
         );
         *owner = None;
         drop(owner);
+        audit::release_manual(LockClass::PaperLock, self as *const PaperLock as usize);
         self.cv.notify_one();
     }
 }
@@ -227,6 +253,15 @@ impl Slot {
             base_epoch: AtomicU64::new(0),
         })
     }
+
+    /// The only place `Slot::allocated` is locked: every acquisition
+    /// registers with the latch auditor as a `SlotLatch` (legal under a
+    /// frame latch; journal appends and pool-shard checks may nest inside).
+    fn latch(&self) -> Audited<MutexGuard<'_, bool>> {
+        audit::audited(LockClass::SlotLatch, self as *const Slot as usize, || {
+            self.allocated.lock()
+        })
+    }
 }
 
 /// Zero-copy read access to a page, as returned by [`PageStore::read`].
@@ -246,7 +281,7 @@ pub struct PageRef<'a> {
 enum RefInner<'a> {
     Frame {
         frame: &'a Frame,
-        guard: Option<RwLockReadGuard<'a, Box<[u8]>>>,
+        guard: Option<Audited<RwLockReadGuard<'a, Box<[u8]>>>>,
     },
     Owned(Page),
 }
@@ -340,7 +375,7 @@ enum WriteInner<'a> {
     /// Resident frame: bytes mutated in place; `undo` restores on rollback.
     Hit {
         frame: &'a Frame,
-        guard: Option<RwLockWriteGuard<'a, Box<[u8]>>>,
+        guard: Option<Audited<RwLockWriteGuard<'a, Box<[u8]>>>>,
         undo: Box<[u8]>,
     },
     /// Freshly claimed frame (not yet published): rollback aborts the claim
@@ -348,7 +383,7 @@ enum WriteInner<'a> {
     Miss {
         frame: &'a Frame,
         idx: usize,
-        guard: Option<RwLockWriteGuard<'a, Box<[u8]>>>,
+        guard: Option<Audited<RwLockWriteGuard<'a, Box<[u8]>>>>,
     },
     /// Pool exhausted/disabled: private staging buffer, applied on commit.
     Owned(Page),
@@ -451,7 +486,7 @@ impl PageWrite<'_> {
                 let slot = store.slot(pid)?;
                 let r = {
                     let bytes = guard.as_ref().expect("live guard");
-                    let allocated = slot.allocated.lock();
+                    let allocated = slot.latch();
                     if !*allocated {
                         Err(StoreError::PageFreed(pid))
                     } else {
@@ -488,7 +523,7 @@ impl PageWrite<'_> {
                 let slot = store.slot(pid)?;
                 let r = {
                     let bytes = guard.as_ref().expect("live guard");
-                    let allocated = slot.allocated.lock();
+                    let allocated = slot.latch();
                     if !*allocated {
                         Err(StoreError::PageFreed(pid))
                     } else {
@@ -626,26 +661,63 @@ impl PageStore {
     }
 
     /// Acquires a frame's read latch, timing only the contended path into
-    /// the latch-wait histogram.
-    fn latch_read<'a>(&self, latch: &'a RwLock<Box<[u8]>>) -> RwLockReadGuard<'a, Box<[u8]>> {
-        if let Some(g) = latch.try_read() {
-            return g;
-        }
-        let t0 = Instant::now();
-        let g = latch.read();
-        self.stats.record_latch_wait(t0.elapsed().as_nanos() as u64);
-        g
+    /// the latch-wait histogram. With `latch_write` below, the only places
+    /// `Frame::data` is latched: every acquisition registers with the latch
+    /// auditor as a `FrameLatch` (the level rule attaches once the frame is
+    /// classified via [`audit::classify_frame`]).
+    fn latch_read<'a>(&self, frame: &'a Frame) -> Audited<RwLockReadGuard<'a, Box<[u8]>>> {
+        audit::audited(LockClass::FrameLatch, frame.audit_addr(), || {
+            if let Some(g) = frame.data.try_read() {
+                return g;
+            }
+            let t0 = Instant::now();
+            let g = frame.data.read();
+            self.stats.record_latch_wait(t0.elapsed().as_nanos() as u64);
+            g
+        })
     }
 
     /// Acquires a frame's write latch, timing only the contended path.
-    fn latch_write<'a>(&self, latch: &'a RwLock<Box<[u8]>>) -> RwLockWriteGuard<'a, Box<[u8]>> {
-        if let Some(g) = latch.try_write() {
-            return g;
-        }
-        let t0 = Instant::now();
-        let g = latch.write();
-        self.stats.record_latch_wait(t0.elapsed().as_nanos() as u64);
-        g
+    fn latch_write<'a>(&self, frame: &'a Frame) -> Audited<RwLockWriteGuard<'a, Box<[u8]>>> {
+        audit::audited(LockClass::FrameLatch, frame.audit_addr(), || {
+            if let Some(g) = frame.data.try_write() {
+                return g;
+            }
+            let t0 = Instant::now();
+            let g = frame.data.write();
+            self.stats.record_latch_wait(t0.elapsed().as_nanos() as u64);
+            g
+        })
+    }
+
+    /// The only readers of the slot table: registers as `SlotsMap` (a leaf
+    /// — callers clone the `Arc<Slot>` out and drop the guard before
+    /// touching any other lock).
+    fn slots_read(&self) -> Audited<RwLockReadGuard<'_, Vec<Arc<Slot>>>> {
+        audit::audited(
+            LockClass::SlotsMap,
+            self as *const PageStore as usize,
+            || self.slots.read(),
+        )
+    }
+
+    /// The only writer of the slot table (the alloc growth path).
+    fn slots_write(&self) -> Audited<RwLockWriteGuard<'_, Vec<Arc<Slot>>>> {
+        audit::audited(
+            LockClass::SlotsMap,
+            self as *const PageStore as usize,
+            || self.slots.write(),
+        )
+    }
+
+    /// The only place the free list is locked: registers as `FreeList` (a
+    /// leaf — callers pop/push in a single statement).
+    fn lock_free(&self) -> Audited<MutexGuard<'_, Vec<PageId>>> {
+        audit::audited(
+            LockClass::FreeList,
+            &self.free as *const Mutex<Vec<PageId>> as usize,
+            || self.free.lock(),
+        )
     }
 
     /// Store configuration.
@@ -684,9 +756,9 @@ impl PageStore {
         let mut first_err = None;
         for (frame, pid) in self.pool.pin_dirty() {
             let r = (|| -> Result<()> {
-                let guard = self.latch_read(&frame.data);
+                let guard = self.latch_read(frame);
                 let slot = self.slot(pid)?;
-                let allocated = slot.allocated.lock();
+                let allocated = slot.latch();
                 // Claim the dirty bit before writing: a concurrent put needs
                 // the frame's write latch (blocked by `guard`), so nothing
                 // can re-dirty the bytes mid-write.
@@ -721,22 +793,24 @@ impl PageStore {
 
     /// Total slots ever allocated (live + free-listed).
     pub fn capacity(&self) -> usize {
-        self.slots.read().len()
+        self.slots_read().len()
     }
 
     /// Pages currently allocated (not on the free list).
     pub fn live_pages(&self) -> usize {
-        self.capacity() - self.free.lock().len()
+        self.capacity() - self.lock_free().len()
     }
 
     /// Ids of all currently allocated pages, ascending. For recovery
     /// (garbage collection, checkpointing) on a quiesced store.
     pub fn allocated_pages(&self) -> Vec<PageId> {
-        let slots = self.slots.read();
+        // Clone the slot handles out first: the slot table is a leaf in
+        // the lock order, so no slot latch is taken while it is held.
+        let slots: Vec<Arc<Slot>> = self.slots_read().iter().cloned().collect();
         slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| *s.allocated.lock())
+            .filter(|(_, s)| *s.latch())
             .map(|(i, _)| PageId::from_index(i))
             .collect()
     }
@@ -744,13 +818,13 @@ impl PageStore {
     /// Whether `pid` names a currently allocated page.
     pub fn is_allocated(&self, pid: PageId) -> bool {
         match self.slot(pid) {
-            Ok(slot) => *slot.allocated.lock(),
+            Ok(slot) => *slot.latch(),
             Err(_) => false,
         }
     }
 
     fn slot(&self, pid: PageId) -> Result<Arc<Slot>> {
-        let slots = self.slots.read();
+        let slots = self.slots_read();
         slots
             .get(pid.index())
             .cloned()
@@ -885,10 +959,10 @@ impl PageStore {
     pub fn alloc(&self) -> Result<PageId> {
         // NB: pop in its own statement — the guard must not live into the
         // body, which re-locks `free` on the journal-error path.
-        let reused = self.free.lock().pop();
+        let reused = self.lock_free().pop();
         if let Some(pid) = reused {
             let slot = self.slot(pid).expect("free-listed page must exist");
-            let mut allocated = slot.allocated.lock();
+            let mut allocated = slot.latch();
             debug_assert!(!*allocated, "page on free list was allocated");
             let r = self
                 .log(|j| j.log_alloc(pid))
@@ -896,7 +970,7 @@ impl PageStore {
                 .and_then(|()| self.backend.write(pid.index(), &self.zero));
             if let Err(e) = r {
                 drop(allocated);
-                self.free.lock().push(pid);
+                self.lock_free().push(pid);
                 return Err(e);
             }
             // The alloc record zeroes the page on replay — a valid base
@@ -914,7 +988,7 @@ impl PageStore {
         // pid is invisible to other threads until returned, so logging
         // after publication cannot reorder same-page records.
         let pid = {
-            let mut slots = self.slots.write();
+            let mut slots = self.slots_write();
             let idx = slots.len();
             self.backend.grow(idx + 1)?;
             slots.push(Slot::new(true));
@@ -922,8 +996,8 @@ impl PageStore {
         };
         let slot = self.slot(pid).expect("slot was just published");
         if let Err(e) = self.log(|j| j.log_alloc(pid)) {
-            *slot.allocated.lock() = false;
-            self.free.lock().push(pid);
+            *slot.latch() = false;
+            self.lock_free().push(pid);
             return Err(e);
         }
         self.note_base(&slot);
@@ -940,7 +1014,7 @@ impl PageStore {
     pub fn free(&self, pid: PageId) -> Result<()> {
         let slot = self.slot(pid)?;
         {
-            let mut allocated = slot.allocated.lock();
+            let mut allocated = slot.latch();
             if !*allocated {
                 return Err(StoreError::PageFreed(pid));
             }
@@ -951,7 +1025,7 @@ impl PageStore {
         // Drop the frame (and its dirty bit: freed bytes are never written
         // back). Outstanding guards keep their pinned snapshot.
         self.pool.discard(pid);
-        self.free.lock().push(pid);
+        self.lock_free().push(pid);
         Ok(())
     }
 
@@ -974,7 +1048,7 @@ impl PageStore {
             match self.pool.claim(pid) {
                 Claim::Hit(frame) => {
                     StoreStats::bump(&self.stats.pins);
-                    let guard = self.latch_read(&frame.data);
+                    let guard = self.latch_read(frame);
                     if !frame.owned_by(pid) {
                         // The frame is mid-load or was repurposed between the
                         // map lookup and the latch; the responsible party is
@@ -989,12 +1063,13 @@ impl PageStore {
                         }
                         continue;
                     }
-                    if !*slot.allocated.lock() {
+                    if !*slot.latch() {
                         drop(guard);
                         frame.unpin();
                         return Err(StoreError::PageFreed(pid));
                     }
                     StoreStats::bump(&self.stats.cache_hits);
+                    audit::classify_frame(frame.audit_addr(), &guard);
                     return Ok(PageRef {
                         inner: RefInner::Frame {
                             frame,
@@ -1017,7 +1092,8 @@ impl PageStore {
                     self.pool.complete_miss(pid, idx);
                     // Our pin keeps the frame ours; a put may slip in between
                     // latch drops, but then the guard just sees newer bytes.
-                    let guard = self.latch_read(&frame.data);
+                    let guard = self.latch_read(frame);
+                    audit::classify_frame(frame.audit_addr(), &guard);
                     return Ok(PageRef {
                         inner: RefInner::Frame {
                             frame,
@@ -1077,11 +1153,12 @@ impl PageStore {
         };
         // A freed page's frame is discarded before the pid can be
         // reallocated; surface the free instead of serving garbage.
-        if !*self.slot(pid)?.allocated.lock() {
+        if !*self.slot(pid)?.latch() {
             return Err(StoreError::PageFreed(pid));
         }
         StoreStats::bump(&self.stats.gets);
         StoreStats::bump(&self.stats.optimistic_reads);
+        audit::note_snapshot(addr);
         Ok(Some(PageStamp {
             frame: addr,
             version,
@@ -1092,10 +1169,17 @@ impl PageStore {
     /// frame still holds `pid`'s image at the stamped version, i.e. no
     /// writer has begun mutating the page since the snapshot was taken.
     pub fn stamp_valid(&self, pid: PageId, stamp: &PageStamp) -> bool {
-        // Frames are allocated once at pool construction and never move or
-        // free while the store lives, so the raw address stays valid. Any
-        // repurposing of the frame bumps its version (loads bracket the
-        // fill with begin/end_write), which fails `version_is`.
+        audit::note_revalidate(stamp.frame);
+        // SAFETY: `stamp.frame` was produced by `read_unlatched` from a
+        // `&Frame` borrowed out of this store's buffer pool. Frames are
+        // allocated once at pool construction into a `Box<[Frame]>` that
+        // is never resized, moved, or freed while the `PageStore` lives,
+        // and `PageStamp` borrows the store (`read_unlatched(&self)` /
+        // `stamp_valid(&self)`), so the pointer cannot outlive the frames.
+        // Eviction does not invalidate it either: a frame is *repurposed*,
+        // never deallocated, and every repurposing brackets the refill
+        // with `begin_write`/`end_write`, bumping the seqlock version so
+        // the `version_is` check below rejects the stale stamp.
         let frame = unsafe { &*(stamp.frame as *const Frame) };
         frame.version_is(stamp.version) && frame.owned_by(pid)
     }
@@ -1113,13 +1197,13 @@ impl PageStore {
         idx: usize,
         flush: Option<PageId>,
     ) -> Result<()> {
-        let mut buf = self.latch_write(&frame.data);
+        let mut buf = self.latch_write(frame);
         if let Err(e) = self.flush_victim(pid, frame, idx, flush, &buf) {
             drop(buf);
             return Err(e);
         }
         let r = {
-            let allocated = slot.allocated.lock();
+            let allocated = slot.latch();
             if !*allocated {
                 Err(StoreError::PageFreed(pid))
             } else {
@@ -1141,6 +1225,7 @@ impl PageStore {
         frame
             .owner
             .store(pid.to_raw(), std::sync::atomic::Ordering::Release);
+        audit::classify_frame(frame.audit_addr(), &buf);
         Ok(())
     }
 
@@ -1178,7 +1263,7 @@ impl PageStore {
     /// cannot go stale while it is held.
     fn write_back(&self, old: PageId, idx: usize, bytes: &[u8]) -> Result<()> {
         let slot = self.slot(old)?;
-        let allocated = slot.allocated.lock();
+        let allocated = slot.latch();
         if *allocated && self.pool.still_flushing(old, idx) {
             self.publish_journal()?;
             self.simulate_io();
@@ -1194,7 +1279,7 @@ impl PageStore {
     /// backend, so the caller must go through the pool).
     fn read_bypass(&self, pid: PageId, slot: &Arc<Slot>) -> Result<Option<Page>> {
         let mut page = Page::zeroed(self.cfg.page_size);
-        let allocated = slot.allocated.lock();
+        let allocated = slot.latch();
         if !*allocated {
             return Err(StoreError::PageFreed(pid));
         }
@@ -1237,7 +1322,7 @@ impl PageStore {
             match self.pool.claim(pid) {
                 Claim::Hit(frame) => {
                     StoreStats::bump(&self.stats.pins);
-                    let mut guard = self.latch_write(&frame.data);
+                    let mut guard = self.latch_write(frame);
                     if !frame.owned_by(pid) {
                         drop(guard);
                         frame.unpin();
@@ -1249,7 +1334,7 @@ impl PageStore {
                         }
                         continue;
                     }
-                    let allocated = slot.allocated.lock();
+                    let allocated = slot.latch();
                     if !*allocated {
                         drop(allocated);
                         drop(guard);
@@ -1263,6 +1348,7 @@ impl PageStore {
                         frame.unpin();
                         return Err(e);
                     }
+                    audit::classify_frame(frame.audit_addr(), data);
                     frame.begin_write();
                     guard.copy_from_slice(data);
                     frame.end_write();
@@ -1283,13 +1369,13 @@ impl PageStore {
                     if evicted {
                         StoreStats::bump(&self.stats.frames_evicted);
                     }
-                    let mut guard = self.latch_write(&frame.data);
+                    let mut guard = self.latch_write(frame);
                     if let Err(e) = self.flush_victim(pid, frame, idx, flush, &guard) {
                         drop(guard);
                         return Err(e);
                     }
                     let r = {
-                        let allocated = slot.allocated.lock();
+                        let allocated = slot.latch();
                         if !*allocated {
                             Err(StoreError::PageFreed(pid))
                         } else {
@@ -1303,6 +1389,7 @@ impl PageStore {
                     }
                     // A full overwrite needs no backend read: the frame
                     // image *is* the page now.
+                    audit::classify_frame(frame.audit_addr(), data);
                     frame.begin_write();
                     guard.copy_from_slice(data);
                     frame.end_write();
@@ -1332,7 +1419,7 @@ impl PageStore {
     /// a racing loader mapped the page (the caller must write through the
     /// frame so readers of the frame see the new image).
     fn write_bypass(&self, pid: PageId, slot: &Arc<Slot>, data: &[u8]) -> Result<bool> {
-        let allocated = slot.allocated.lock();
+        let allocated = slot.latch();
         if !*allocated {
             return Err(StoreError::PageFreed(pid));
         }
@@ -1363,7 +1450,7 @@ impl PageStore {
             match self.pool.claim(pid) {
                 Claim::Hit(frame) => {
                     StoreStats::bump(&self.stats.pins);
-                    let mut guard = self.latch_write(&frame.data);
+                    let mut guard = self.latch_write(frame);
                     if !frame.owned_by(pid) {
                         drop(guard);
                         frame.unpin();
@@ -1375,11 +1462,12 @@ impl PageStore {
                         }
                         continue;
                     }
-                    if !*slot.allocated.lock() {
+                    if !*slot.latch() {
                         drop(guard);
                         frame.unpin();
                         return Err(StoreError::PageFreed(pid));
                     }
+                    audit::classify_frame(frame.audit_addr(), &guard);
                     let undo = guard.to_vec().into_boxed_slice();
                     // Seqlock window: open before the first byte changes;
                     // commit/rollback closes it (the caller mutates the
@@ -1413,7 +1501,7 @@ impl PageStore {
                     if evicted {
                         StoreStats::bump(&self.stats.frames_evicted);
                     }
-                    let mut guard = self.latch_write(&frame.data);
+                    let mut guard = self.latch_write(frame);
                     if let Err(e) = self.flush_victim(pid, frame, idx, flush, &guard) {
                         drop(guard);
                         return Err(e);
@@ -1422,7 +1510,7 @@ impl PageStore {
                     // commit/rollback closes it.
                     frame.begin_write();
                     let r = {
-                        let allocated = slot.allocated.lock();
+                        let allocated = slot.latch();
                         if !*allocated {
                             Err(StoreError::PageFreed(pid))
                         } else {
@@ -1447,6 +1535,7 @@ impl PageStore {
                     frame
                         .dirty
                         .store(false, std::sync::atomic::Ordering::Release);
+                    audit::classify_frame(frame.audit_addr(), &guard);
                     return Ok(PageWrite {
                         store: self,
                         pid,
@@ -1482,7 +1571,7 @@ impl PageStore {
                 Some(p) => page = p,
                 None => page.bytes_mut().copy_from_slice(&self.read(pid)?),
             }
-        } else if !*slot.allocated.lock() {
+        } else if !*slot.latch() {
             return Err(StoreError::PageFreed(pid));
         }
         Ok(PageWrite {

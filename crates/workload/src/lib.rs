@@ -6,6 +6,8 @@
 //! operation mixes from read-heavy to delete-heavy. Everything is seeded
 //! and reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod ops;
 
