@@ -46,6 +46,7 @@ fn run_one(mix: Mix, delay: Option<Duration>, pool_frames: usize, part: &'static
         io_delay: delay,
         pool_frames,
         delta_puts: true,
+        background_flusher: false,
     });
     let tree: Arc<dyn ConcurrentIndex> = BLinkTree::create(store, TreeConfig::with_k(16)).unwrap();
     let cfg = RunConfig {

@@ -55,6 +55,7 @@ struct Ledger {
     lock: u64,
     rw: u64,
     heap: u64,
+    flusher: u64,
     other: u64,
 }
 
@@ -73,7 +74,8 @@ impl Ledger {
             + s.pool_wait_ns
             + s.lock_wait_ns
             + s.rw_wait_ns
-            + s.heap_shard_wait_ns;
+            + s.heap_shard_wait_ns
+            + s.flusher_backpressure_ns;
         Ledger {
             total,
             wal_append: s.wal_append_wait_ns,
@@ -84,6 +86,7 @@ impl Ledger {
             lock: s.lock_wait_ns,
             rw: s.rw_wait_ns,
             heap: s.heap_shard_wait_ns,
+            flusher: s.flusher_backpressure_ns,
             other: total.saturating_sub(named),
         }
     }
@@ -109,6 +112,7 @@ impl Ledger {
             + self.lock
             + self.rw
             + self.heap
+            + self.flusher
             + self.other;
         self.pct(sum.min(self.total))
     }
@@ -177,6 +181,7 @@ fn table_header() -> Table {
         "lock%",
         "rw%",
         "heap%",
+        "flusher%",
         "other%",
     ])
 }
@@ -195,6 +200,7 @@ fn table_row(t: &mut Table, r: &Record) {
         format!("{:.1}", l.pct(l.lock)),
         format!("{:.1}", l.pct(l.rw)),
         format!("{:.1}", l.pct(l.heap)),
+        format!("{:.1}", l.pct(l.flusher)),
         format!("{:.1}", l.pct(l.other)),
     ]);
 }
@@ -407,7 +413,7 @@ fn main() {
              \"wal_append_wait_pct\": {:.3}, \"wal_commit_wait_pct\": {:.3}, \
              \"fsync_pct\": {:.3}, \"latch_wait_pct\": {:.3}, \"pool_wait_pct\": {:.3}, \
              \"lock_wait_pct\": {:.3}, \"rw_wait_pct\": {:.3}, \"heap_wait_pct\": {:.3}, \
-             \"other_pct\": {:.3}}}{}\n",
+             \"flusher_wait_pct\": {:.3}, \"other_pct\": {:.3}}}{}\n",
             r.part,
             r.backend,
             r.mix,
@@ -425,6 +431,7 @@ fn main() {
             l.pct(l.lock),
             l.pct(l.rw),
             l.pct(l.heap),
+            l.pct(l.flusher),
             l.pct(l.other),
             if i + 1 == records.len() { "" } else { "," }
         ));

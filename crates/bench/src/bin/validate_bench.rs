@@ -15,7 +15,7 @@ use blink_bench::json::{parse, Json};
 /// Keys every result row of the named bench must carry.
 fn required_keys(bench: &str) -> &'static [&'static str] {
     match bench {
-        "kv" => &["part", "mix", "ops_per_sec"],
+        "kv" => &["part", "mix", "knobs", "ops_per_sec"],
         "bufferpool" => &["part", "pool_frames", "ops_per_sec", "hit_rate"],
         "walamp" => &["value_len", "mode", "ops_per_sec", "wal_bytes_per_op"],
         "kv_scalability" => &[
@@ -48,6 +48,7 @@ fn required_keys(bench: &str) -> &'static [&'static str] {
             "lock_wait_pct",
             "rw_wait_pct",
             "heap_wait_pct",
+            "flusher_wait_pct",
             "other_pct",
         ],
         _ => &[],

@@ -52,6 +52,7 @@ pub fn fresh_store_io(delay: Duration) -> Arc<PageStore> {
         io_delay: Some(delay),
         pool_frames: 0,
         delta_puts: true,
+        background_flusher: false,
     })
 }
 
@@ -62,6 +63,7 @@ pub fn fresh_store_io_cached(delay: Duration, frames: usize) -> Arc<PageStore> {
         io_delay: Some(delay),
         pool_frames: frames,
         delta_puts: true,
+        background_flusher: false,
     })
 }
 

@@ -127,6 +127,23 @@ const WRAPPER_RULES: &[WrapperRule] = &[
         use_instead: "Wal::lock_slot (WalSlot)",
     },
     WrapperRule {
+        file: "wal.rs",
+        needles: &[
+            ".ctl.lock(",
+            ".ctl.try_lock(",
+            ".gate.lock(",
+            ".gate.try_lock(",
+        ],
+        allowed_fns: &["lock_ctl", "lock_gate"],
+        use_instead: "Wal::lock_ctl / lock_gate (WalBatch)",
+    },
+    WrapperRule {
+        file: "flusher.rs",
+        needles: &[".ctl.lock(", ".ctl.try_lock("],
+        allowed_fns: &["lock_ctl"],
+        use_instead: "FlusherShared::lock_ctl (FlusherQueue)",
+    },
+    WrapperRule {
         file: "db.rs",
         needles: &[".read_sessions.lock(", ".read_sessions.try_lock("],
         allowed_fns: &["lock_sessions"],
@@ -135,7 +152,8 @@ const WRAPPER_RULES: &[WrapperRule] = &[
 ];
 
 /// Files allowed to contain `unsafe` blocks (each still needs `// SAFETY:`).
-const UNSAFE_ALLOWLIST: &[&str] = &["pool.rs", "store.rs"];
+/// `mmap.rs` is the hand-rolled mapping for the zero-syscall read path.
+const UNSAFE_ALLOWLIST: &[&str] = &["pool.rs", "store.rs", "mmap.rs"];
 
 /// How many raw lines above an `unsafe` the `// SAFETY:` justification may
 /// *start* when there is no contiguous comment block directly above (the
@@ -481,6 +499,49 @@ mod tests {
         let src = "fn doc() {\n    // shard.state.lock() is not for you\n    \
                    let s = \"shard.state.lock()\";\n    let _ = s;\n}\n";
         assert!(lint_source("crates/pagestore/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pipeline_and_flusher_locks_require_their_wrappers() {
+        // The commit pipeline's control/gate mutexes (WalBatch)…
+        let v = lint_source(
+            "crates/durable/src/wal.rs",
+            "fn run_leader(&self) {\n    let g = ps.ctl.lock();\n    let b = cell.gate.lock();\n}\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "wrapper-only"));
+        let ok = lint_source(
+            "crates/durable/src/wal.rs",
+            "fn lock_ctl(&self) {\n    let g = ps.ctl.lock();\n}\n\
+             fn lock_gate(&self) {\n    let b = cell.gate.lock();\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        // …and the flusher's control mutex (FlusherQueue).
+        let v = lint_source(
+            "crates/pagestore/src/flusher.rs",
+            "fn kick(&self) {\n    let g = self.ctl.lock();\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "wrapper-only");
+        let ok = lint_source(
+            "crates/pagestore/src/flusher.rs",
+            "fn lock_ctl(&self) {\n    let g = self.ctl.lock();\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn mmap_unsafe_is_allowlisted_but_still_needs_safety() {
+        let v = lint_source(
+            "crates/pagestore/src/mmap.rs",
+            "fn f() {\n    unsafe { g() }\n}\n",
+        );
+        assert_eq!(v[0].rule, "unsafe-safety-comment");
+        let ok = lint_source(
+            "crates/pagestore/src/mmap.rs",
+            "fn f() {\n    // SAFETY: bounds checked above.\n    unsafe { g() }\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

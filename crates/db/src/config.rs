@@ -51,6 +51,23 @@ pub struct DbConfig {
     /// fsync-duration distribution instead of always waiting the full
     /// configured window ([`FsyncPolicy::Group`] only). On by default.
     pub adaptive_commit: bool,
+    /// Pipelined group commit (durable stores, [`FsyncPolicy::Group`]
+    /// only): the commit leader fsyncs batch N on a cloned fd with no
+    /// locks held while batch N+1 fills behind it, overlapping fsync
+    /// latency with record arrival. On by default; `false` is the
+    /// stop-and-wait group-commit baseline of the exp13 ablation.
+    pub wal_pipeline: bool,
+    /// Background write-back (durable stores only): a dedicated flusher
+    /// thread drains dirty buffer-pool frames to the page file in
+    /// clock-hand order between low/high watermarks, so foreground
+    /// evictions find clean victims and checkpoints start nearly flushed.
+    /// On by default; `false` keeps all write-back on the eviction path.
+    pub background_flusher: bool,
+    /// Serve page-file reads from a read-only `mmap` (durable stores
+    /// only): pool misses copy from the mapping instead of issuing a
+    /// `pread` syscall. Defaults from the `BLINK_MMAP=1` environment
+    /// variable so the whole suite can run against the mapped backend.
+    pub mmap_backend: bool,
     /// Optimistic version-coupled reads on root/branch descent levels:
     /// nodes are copied out of their buffer-pool frames without the frame
     /// latch, validated by a per-frame seqlock, and revalidated before
@@ -81,6 +98,9 @@ impl DbConfig {
             wal_delta_puts: true,
             wal_staging: true,
             adaptive_commit: true,
+            wal_pipeline: true,
+            background_flusher: true,
+            mmap_backend: std::env::var("BLINK_MMAP").is_ok_and(|v| v == "1"),
             optimistic_reads: true,
             metrics: true,
         }
@@ -147,6 +167,27 @@ impl DbConfig {
     /// levels (see [`DbConfig::optimistic_reads`]).
     pub fn with_optimistic_reads(mut self, on: bool) -> DbConfig {
         self.optimistic_reads = on;
+        self
+    }
+
+    /// Enables or disables pipelined group commit (see
+    /// [`DbConfig::wal_pipeline`]).
+    pub fn with_wal_pipeline(mut self, on: bool) -> DbConfig {
+        self.wal_pipeline = on;
+        self
+    }
+
+    /// Enables or disables the background flusher thread (see
+    /// [`DbConfig::background_flusher`]).
+    pub fn with_background_flusher(mut self, on: bool) -> DbConfig {
+        self.background_flusher = on;
+        self
+    }
+
+    /// Enables or disables the `mmap` read path for the page file (see
+    /// [`DbConfig::mmap_backend`]).
+    pub fn with_mmap_backend(mut self, on: bool) -> DbConfig {
+        self.mmap_backend = on;
         self
     }
 }

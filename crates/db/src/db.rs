@@ -98,6 +98,9 @@ impl Db {
                     io_delay: None,
                     pool_frames: cfg.pool_frames,
                     delta_puts: cfg.wal_delta_puts,
+                    // No backend writes to hide — in-memory frames *are*
+                    // the storage.
+                    background_flusher: false,
                 });
                 let heap = Arc::new(
                     RecordHeap::attach_with_config(Arc::clone(&store), Db::heap_config(&cfg))?.0,
@@ -125,6 +128,9 @@ impl Db {
                     delta_puts: cfg.wal_delta_puts,
                     wal_staging: cfg.wal_staging,
                     adaptive_commit: cfg.adaptive_commit,
+                    wal_pipeline: cfg.wal_pipeline,
+                    background_flusher: cfg.background_flusher,
+                    mmap_backend: cfg.mmap_backend,
                 };
                 if dir.join("meta").exists() {
                     Db::open_durable(dcfg, cfg)
@@ -332,8 +338,9 @@ impl Db {
         }
     }
 
-    /// Checkpoints the durable store (quiescent callers only), bounding
-    /// future recovery replay. Errors on in-memory databases.
+    /// Checkpoints the durable store, bounding future recovery replay.
+    /// Fuzzy — concurrent readers and writers are fine (see
+    /// [`DurableStore::checkpoint_begin`]). Errors on in-memory databases.
     pub fn checkpoint(&self) -> Result<()> {
         match &self.durable {
             Some(ds) => Ok(ds.checkpoint()?),
@@ -423,6 +430,10 @@ impl<'db> DbSession<'db> {
     /// concurrent readers never observe a dangling id.
     pub fn put(&mut self, key: u64, value: &[u8]) -> Result<PutOutcome> {
         let db = self.db;
+        // Backpressure before the op takes any latches: if dirty frames
+        // crossed the flusher's high watermark, wait (bounded) for a
+        // drain pass rather than letting a write burst outrun the disk.
+        db.store().throttle_dirty();
         let t0 = db.op_hists.start();
         let r = match db.durable.as_ref() {
             // A put can log several WAL records (heap page plus one or more
@@ -509,6 +520,8 @@ impl<'db> DbSession<'db> {
     /// rather than dangle.
     pub fn delete(&mut self, key: u64) -> Result<bool> {
         let db = self.db;
+        // Same pre-latch backpressure as `put`.
+        db.store().throttle_dirty();
         let t0 = db.op_hists.start();
         let r = match db.durable.as_ref() {
             // Same one-commit-per-op batching as `put`: the index delete

@@ -15,7 +15,8 @@
 //! crash-point matrix tests exact rather than probabilistic.
 
 use blink_pagestore::{Result, StoreError};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Shared crash switch (see module docs).
 #[derive(Debug, Default)]
@@ -25,6 +26,10 @@ pub struct FaultInjector {
     /// Set once the budget is exhausted; everything fails afterwards.
     tripped: AtomicBool,
     armed: AtomicBool,
+    /// Artificial latency added to every WAL fsync, in nanoseconds
+    /// (0 = none). Lets tests dilate the commit pipeline's sync stage
+    /// enough to observe overlap and early-return bugs deterministically.
+    fsync_delay_ns: AtomicU64,
 }
 
 fn crashed<T>() -> Result<T> {
@@ -39,6 +44,23 @@ impl FaultInjector {
             budget: AtomicI64::new(-1),
             tripped: AtomicBool::new(false),
             armed: AtomicBool::new(false),
+            fsync_delay_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Dilates every subsequent WAL fsync by `d` (tests only; zero
+    /// restores normal speed).
+    pub fn set_fsync_delay(&self, d: Duration) {
+        self.fsync_delay_ns
+            .store(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Called by the WAL at the start of an fsync: sleeps out any
+    /// configured artificial latency.
+    pub fn fsync_delay(&self) {
+        let ns = self.fsync_delay_ns.load(Ordering::Relaxed);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
         }
     }
 

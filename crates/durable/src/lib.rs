@@ -59,9 +59,9 @@ pub mod fault;
 pub mod store;
 pub mod wal;
 
-pub use backend::FileBackend;
+pub use backend::{FileBackend, MmapBackend};
 pub use fault::FaultInjector;
-pub use store::{DurableConfig, DurableStore, RecoveryInfo};
+pub use store::{CheckpointToken, DurableConfig, DurableStore, RecoveryInfo};
 pub use wal::{FsyncPolicy, Wal, WalOp};
 
 use blink_pagestore::PageId;

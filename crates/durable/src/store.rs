@@ -25,11 +25,14 @@
 //! The result is exactly the state after the last durable record — with a
 //! simulated crash ([`FaultInjector`]), exactly the first *n* records.
 //!
-//! [`DurableStore::checkpoint`] (quiescent callers only) bounds replay
-//! work: it flushes everything, rotates the WAL, snapshots the free map
-//! into `meta`, and deletes the old segments.
+//! [`DurableStore::checkpoint`] bounds replay work — and it is **fuzzy**:
+//! writers may run concurrently. [`DurableStore::checkpoint_begin`] cuts
+//! the WAL and starts a new base epoch; [`DurableStore::checkpoint_end`]
+//! flushes every pre-cut page image, snapshots the free map into `meta`,
+//! and deletes the segments before the cut. See `checkpoint_begin` for the
+//! correctness argument.
 
-use crate::backend::FileBackend;
+use crate::backend::{FileBackend, MmapBackend};
 use crate::crc::crc32;
 use crate::fault::FaultInjector;
 use crate::wal::{self, io_err, FsyncPolicy, ScanReport, Wal, WalOp};
@@ -77,6 +80,21 @@ pub struct DurableConfig {
     /// distribution instead of always waiting the configured window.
     /// Only affects [`FsyncPolicy::Group`].
     pub adaptive_commit: bool,
+    /// Pipelined group commit: the leader fsyncs batch N on a cloned fd
+    /// with no locks held while batch N+1 fills behind it. `false` is the
+    /// stop-and-wait baseline the exp13 ablation measures against. Only
+    /// affects [`FsyncPolicy::Group`].
+    pub wal_pipeline: bool,
+    /// Background write-back: a flusher thread drains dirty frames to
+    /// `pages.db` in clock-hand order between low/high watermarks, so
+    /// foreground evictions find clean victims. `false` keeps all
+    /// write-back on the eviction/sync path.
+    pub background_flusher: bool,
+    /// Serve backend page reads from a read-only `mmap` of `pages.db`
+    /// (zero syscalls on the pool-miss read path) instead of `pread`.
+    /// Defaults from the `BLINK_MMAP=1` environment variable so the whole
+    /// test suite can run against the mapped backend.
+    pub mmap_backend: bool,
 }
 
 impl DurableConfig {
@@ -91,6 +109,9 @@ impl DurableConfig {
             delta_puts: true,
             wal_staging: true,
             adaptive_commit: true,
+            wal_pipeline: true,
+            background_flusher: true,
+            mmap_backend: std::env::var("BLINK_MMAP").is_ok_and(|v| v == "1"),
         }
     }
 
@@ -109,6 +130,7 @@ impl DurableConfig {
             io_delay: None,
             pool_frames: self.pool_frames,
             delta_puts: self.delta_puts,
+            background_flusher: self.background_flusher,
         }
     }
 
@@ -119,6 +141,17 @@ impl DurableConfig {
     fn meta_path(&self) -> PathBuf {
         self.dir.join("meta")
     }
+}
+
+/// Handle returned by [`DurableStore::checkpoint_begin`]: the WAL cut the
+/// matching [`DurableStore::checkpoint_end`] will point recovery at.
+/// Dropping it without calling `checkpoint_end` is safe — the store just
+/// keeps recovering from the previous checkpoint.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a begun checkpoint discards no WAL until checkpoint_end runs"]
+pub struct CheckpointToken {
+    begin_seq: u64,
+    begin_lsn: u64,
 }
 
 /// What recovery did when the store was opened.
@@ -252,7 +285,19 @@ impl DurableStore {
 
         let fault = Arc::new(FaultInjector::new());
         let stats = Arc::new(StoreStats::default());
-        let backend = FileBackend::open(&cfg.pages_path(), cfg.page_size, Arc::clone(&fault))?;
+        let backend: Box<dyn PageBackend> = if cfg.mmap_backend {
+            Box::new(MmapBackend::open(
+                &cfg.pages_path(),
+                cfg.page_size,
+                Arc::clone(&fault),
+            )?)
+        } else {
+            Box::new(FileBackend::open(
+                &cfg.pages_path(),
+                cfg.page_size,
+                Arc::clone(&fault),
+            )?)
+        };
         let mut allocated = meta.allocated;
         backend.grow(allocated.len())?;
 
@@ -345,11 +390,12 @@ impl DurableStore {
                 Arc::clone(&stats),
             )?
             .with_staging(cfg.wal_staging)
-            .with_adaptive_commit(cfg.adaptive_commit),
+            .with_adaptive_commit(cfg.adaptive_commit)
+            .with_pipeline(cfg.wal_pipeline),
         );
         let store = PageStore::with_parts(
             cfg.store_config(),
-            Box::new(backend),
+            backend,
             Some(Arc::clone(&wal) as Arc<dyn Journal>),
             stats,
             &allocated,
@@ -412,17 +458,72 @@ impl DurableStore {
         &self.cfg.dir
     }
 
-    /// Checkpoints the store: flushes everything, snapshots the free map
-    /// into `meta`, and discards replayed WAL segments. **Quiescent callers
-    /// only** — no in-flight operations.
+    /// Checkpoints the store — **fuzzy**: readers and writers may run
+    /// concurrently throughout. Equivalent to
+    /// [`checkpoint_begin`](Self::checkpoint_begin) followed immediately by
+    /// [`checkpoint_end`](Self::checkpoint_end); long-running callers can
+    /// split the two to let more WAL accumulate behind the cut before
+    /// paying the flush.
     pub fn checkpoint(&self) -> Result<()> {
-        self.wal.sync()?;
-        self.store.sync()?;
-        // New epoch first: any write from here on logs a full image
-        // before its first delta, so the replay range that starts at the
-        // rotated segment always finds a base under every delta.
+        let token = self.checkpoint_begin()?;
+        self.checkpoint_end(token)
+    }
+
+    /// Starts a fuzzy checkpoint: rotates the WAL (the **cut** — replay
+    /// after this checkpoint starts at the returned segment) and opens a
+    /// new base epoch, sandwiching the rotation between two epoch
+    /// advances. Cheap — no page flushing happens here.
+    ///
+    /// ## Why every delta after the cut has a base after the cut
+    ///
+    /// Replay starts at the cut, and a delta record is only safe to replay
+    /// (in particular: only able to repair a torn `pages.db` write of its
+    /// page) when a full image of the page also lies at or after the cut.
+    /// The delta gate in `PageStore::log_page_write` ensures that by
+    /// requiring the page's last base record to carry the **current**
+    /// epoch tag. Two races could break the gate, and the
+    /// advance/rotate/advance sandwich closes both:
+    ///
+    /// * A base appended concurrently with `checkpoint_begin` could land
+    ///   *before* the cut but be tagged with the *new* epoch (so later
+    ///   deltas never re-base). Cannot happen: to be tagged with the
+    ///   post-sandwich epoch, the writer must load that epoch value before
+    ///   appending (`note_base` tags 0 when the epoch changed across the
+    ///   append). That `Acquire` load synchronizes with the second
+    ///   advance's `Release`, which the rotation's LSN cut happens-before
+    ///   — so the record's LSN is assigned after the cut and lands in the
+    ///   new tail.
+    /// * A base appended entirely *before* the first advance keeps the old
+    ///   tag, which the next delta attempt sees as stale and re-bases.
+    ///
+    /// Deltas already in flight during `begin` (old-epoch base, LSN at or
+    /// after the cut) are harmless: `checkpoint_end`'s flush writes their
+    /// page to `pages.db` with a page LSN at least theirs, so replay's
+    /// LSN gate skips them; and any *later* `pages.db` write of that page
+    /// implies a later put, which re-based through the stale-epoch gate.
+    pub fn checkpoint_begin(&self) -> Result<CheckpointToken> {
         self.store.advance_checkpoint_epoch();
         let (seq, lsn) = self.wal.rotate_for_checkpoint()?;
+        self.store.advance_checkpoint_epoch();
+        Ok(CheckpointToken {
+            begin_seq: seq,
+            begin_lsn: lsn,
+        })
+    }
+
+    /// Completes a fuzzy checkpoint: flushes every page image from before
+    /// the cut to `pages.db` (the writer barrier in
+    /// `PageStore::flush_for_checkpoint`), snapshots the free map into
+    /// `meta` pointing replay at the cut, and only then deletes the
+    /// segments before it. A crash anywhere up to the final meta rename
+    /// recovers from the *previous* checkpoint with all its segments still
+    /// present.
+    pub fn checkpoint_end(&self, token: CheckpointToken) -> Result<()> {
+        self.store.flush_for_checkpoint()?;
+        // Snapshot the free map *after* the flush: alloc/free records
+        // since the cut are still replayed (idempotently) on recovery, so
+        // the map only needs to be current as of some point after the
+        // cut.
         let capacity = self.store.capacity();
         let mut allocated = vec![false; capacity];
         for pid in self.store.allocated_pages() {
@@ -433,13 +534,13 @@ impl DurableStore {
             &self.cfg.meta_path(),
             &Meta {
                 page_size: self.cfg.page_size,
-                wal_start_seq: seq,
-                wal_start_lsn: lsn,
+                wal_start_seq: token.begin_seq,
+                wal_start_lsn: token.begin_lsn,
                 allocated,
             },
         )?;
         for old in wal::list_segments(&self.cfg.dir)? {
-            if old < seq {
+            if old < token.begin_seq {
                 std::fs::remove_file(wal::segment_path(&self.cfg.dir, old))
                     .map_err(|e| io_err("remove checkpointed segment", e))?;
             }

@@ -278,6 +278,69 @@ impl CommitTuner {
     }
 }
 
+/// Completion state of one in-flight pipelined batch.
+#[derive(Debug)]
+struct BatchGate {
+    /// The batch's covering fsync finished (successfully or not).
+    done: bool,
+    /// The fsync attempt failed: waiters must re-drive durability through
+    /// [`Wal::sync_to`] so every committer sees a real error.
+    failed: bool,
+    /// Leadership hand-off: the previous leader finished its batch and
+    /// left the baton here. The first waiter to observe the token takes
+    /// it and cuts this (its own) batch — the batch that filled while the
+    /// previous fsync ran.
+    lead_token: bool,
+}
+
+/// One pipelined-commit batch: committers who joined while it was the
+/// filling batch park on `cv` until a leader marks the gate done.
+#[derive(Debug)]
+struct BatchCell {
+    gate: Mutex<BatchGate>,
+    cv: Condvar,
+}
+
+impl BatchCell {
+    fn new() -> BatchCell {
+        BatchCell {
+            gate: Mutex::new(BatchGate {
+                done: false,
+                failed: false,
+                lead_token: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Pipeline control: which batch is filling, whether a leader is driving
+/// an fsync, and the durable horizon the pipeline has established.
+#[derive(Debug)]
+struct PipelineCtl {
+    filling: Arc<BatchCell>,
+    /// Committers who joined `filling` and will wait on its gate.
+    filling_waiters: u64,
+    leader_running: bool,
+    /// Highest LSN a pipeline fsync has made durable.
+    durable_lsn: u64,
+}
+
+/// The pipelined group-commit state (see [`Wal::commit_pipelined`]).
+///
+/// The double-buffer invariant: at most one batch is *syncing* (its
+/// leader holds no lock across the fsync — it syncs a cloned fd) while
+/// the next batch *fills* in the staging slots. Committers wait only on
+/// their own batch's gate, so a batch-N committer is never penalized by
+/// batch N+1's fsync. The control mutex and every gate register with the
+/// latch auditor as `WalBatch`, a leaf class with same-class nesting
+/// forbidden — the leader reads the cell out of the control mutex, drops
+/// it, and only then touches the gate.
+#[derive(Debug)]
+struct PipelineState {
+    ctl: Mutex<PipelineCtl>,
+}
+
 /// The appender half of the log (see module docs).
 #[derive(Debug)]
 pub struct Wal {
@@ -294,6 +357,9 @@ pub struct Wal {
     staging: Option<StagingState>,
     /// Adaptive group-commit window sizing; `None` = fixed window.
     tuner: Option<CommitTuner>,
+    /// Pipelined group commit (`FsyncPolicy::Group` only); `None` = the
+    /// blocking-window path (the knob-off arm of the exp13 ablation).
+    pipeline: Option<PipelineState>,
     /// Highest LSN known durable.
     flushed: Mutex<u64>,
     flush_cv: Condvar,
@@ -372,6 +438,26 @@ impl Wal {
         )
     }
 
+    /// The only place the pipeline control mutex is locked: registers as
+    /// `WalBatch` (a leaf; never held while a batch gate is taken).
+    fn lock_ctl<'a>(&self, ps: &'a PipelineState) -> Audited<MutexGuard<'a, PipelineCtl>> {
+        audit::audited(
+            LockClass::WalBatch,
+            &ps.ctl as *const Mutex<PipelineCtl> as usize,
+            || ps.ctl.lock(),
+        )
+    }
+
+    /// The only place a batch gate is locked: registers as `WalBatch`
+    /// (committers wait on the batch condvar through it).
+    fn lock_gate<'a>(&self, cell: &'a BatchCell) -> Audited<MutexGuard<'a, BatchGate>> {
+        audit::audited(
+            LockClass::WalBatch,
+            &cell.gate as *const Mutex<BatchGate> as usize,
+            || cell.gate.lock(),
+        )
+    }
+
     /// Opens the log for appending: continues segment `seg_seq` at
     /// `seg_len` bytes (creating it if absent) with the next record taking
     /// `next_lsn`. Recovery computes these from a [`scan`].
@@ -430,6 +516,7 @@ impl Wal {
             }),
             staging: None,
             tuner: None,
+            pipeline: None,
             flushed: Mutex::new(next_lsn.saturating_sub(1)),
             flush_cv: Condvar::new(),
             committers: std::sync::atomic::AtomicU64::new(0),
@@ -457,6 +544,27 @@ impl Wal {
     /// affects the [`FsyncPolicy::Group`] policy.
     pub fn with_adaptive_commit(mut self, on: bool) -> Wal {
         self.tuner = on.then(CommitTuner::new);
+        self
+    }
+
+    /// Enables (or disables) the pipelined group commit. Only affects the
+    /// [`FsyncPolicy::Group`] policy: the fsync leader syncs batch N on a
+    /// cloned fd while batch N+1 fills in the staging slots, and each
+    /// committer waits only on its own batch's durability gate.
+    pub fn with_pipeline(mut self, on: bool) -> Wal {
+        self.pipeline = if on {
+            let durable = *self.flushed.get_mut();
+            Some(PipelineState {
+                ctl: Mutex::new(PipelineCtl {
+                    filling: Arc::new(BatchCell::new()),
+                    filling_waiters: 0,
+                    leader_running: false,
+                    durable_lsn: durable,
+                }),
+            })
+        } else {
+            None
+        };
         self
     }
 
@@ -688,32 +796,49 @@ impl Wal {
             FsyncPolicy::Never => self.publish(),
             FsyncPolicy::Always => self.sync_to(lsn),
             FsyncPolicy::Group { window } => {
-                let window = match &self.tuner {
-                    Some(t) => {
-                        let w = t.effective_window(window);
-                        if w != window {
-                            StoreStats::bump(&self.stats.wal_commit_window_adapted);
-                        }
-                        w
-                    }
-                    None => window,
-                };
-                // Self-tuning: only wait out the batching window when at
-                // least one other committer is in flight to share the
-                // fsync with. A solo committer on an idle system syncs
-                // immediately — the window would be pure added latency.
+                // Self-tuning: only batch when at least one other
+                // committer is in flight to share the fsync with. A solo
+                // committer on an idle system syncs immediately — any
+                // batching wait would be pure added latency. In pipeline
+                // mode even the solo commit goes through the leader
+                // machinery (skipping the cut-steering wait): its fsync
+                // then runs on a cloned fd with no lock held, so later
+                // arrivals keep staging and publishing underneath it.
                 let siblings = self.committers.fetch_add(1, Ordering::AcqRel);
-                let r = if siblings == 0 {
-                    StoreStats::bump(&self.stats.wal_group_solo_commits);
-                    self.sync_to(lsn)
-                } else if window.is_zero() {
-                    self.sync_to(lsn)
+                let r = if let Some(ps) = &self.pipeline {
+                    if siblings == 0 {
+                        StoreStats::bump(&self.stats.wal_group_solo_commits);
+                    }
+                    self.commit_pipelined(ps, lsn, window)
                 } else {
-                    self.commit_grouped(lsn, window)
+                    let window = self.steered_window(window);
+                    if siblings == 0 {
+                        StoreStats::bump(&self.stats.wal_group_solo_commits);
+                        self.sync_to(lsn)
+                    } else if window.is_zero() {
+                        self.sync_to(lsn)
+                    } else {
+                        self.commit_grouped(lsn, window)
+                    }
                 };
                 self.committers.fetch_sub(1, Ordering::AcqRel);
                 r
             }
+        }
+    }
+
+    /// The tuner-adjusted batching window (the configured cap when no
+    /// tuner is attached or it has no signal yet).
+    fn steered_window(&self, configured: Duration) -> Duration {
+        match &self.tuner {
+            Some(t) => {
+                let w = t.effective_window(configured);
+                if w != configured {
+                    StoreStats::bump(&self.stats.wal_commit_window_adapted);
+                }
+                w
+            }
+            None => configured,
         }
     }
 
@@ -745,6 +870,170 @@ impl Wal {
         r
     }
 
+    /// The pipelined half of a Group commit. Join the filling batch; if
+    /// no leader is driving, become one. A committer returns only after
+    /// its own batch's gate reports a completed fsync covering its LSN —
+    /// never on a mere notification that *some* fsync ran.
+    fn commit_pipelined(&self, ps: &PipelineState, lsn: u64, window: Duration) -> Result<()> {
+        let t0 = Instant::now();
+        {
+            // A checkpoint/`sync()` fsync may already cover us.
+            let flushed = self.lock_flushed();
+            if *flushed >= lsn {
+                return Ok(());
+            }
+        }
+        let (cell, lead) = {
+            let mut ctl = self.lock_ctl(ps);
+            if ctl.durable_lsn >= lsn {
+                return Ok(());
+            }
+            ctl.filling_waiters += 1;
+            let cell = Arc::clone(&ctl.filling);
+            let lead = !ctl.leader_running;
+            if lead {
+                ctl.leader_running = true;
+            }
+            (cell, lead)
+        };
+        if lead {
+            // Errors surface through the gate too (failed=true), so
+            // waiters of this batch are never stranded; the leader's own
+            // error is re-checked below like everyone else's.
+            let _ = self.run_leader(ps, false, window);
+        }
+        let failed = loop {
+            let mut gate = self.lock_gate(&cell);
+            while !gate.done && !gate.lead_token {
+                cell.cv.wait(gate.guard_mut());
+            }
+            if gate.done {
+                break gate.failed;
+            }
+            // The previous leader handed off: this batch filled while its
+            // fsync ran, and we cut it now.
+            gate.lead_token = false;
+            drop(gate);
+            let _ = self.run_leader(ps, true, window);
+        };
+        self.stats
+            .record_wal_commit_wait(t0.elapsed().as_nanos() as u64);
+        if failed {
+            // Re-drive durability on the slow path so every committer of
+            // a failed batch reports the real error.
+            return self.sync_to(lsn);
+        }
+        Ok(())
+    }
+
+    /// One leadership stint: cut the filling batch, fsync it on a cloned
+    /// fd (no lock held across the sync), publish the new durable horizon
+    /// and wake the batch. If the next batch already has waiters, leave
+    /// the leadership token in its gate — that batch filled during this
+    /// fsync, which is the pipeline overlap `wal_pipeline_depth` counts.
+    fn run_leader(&self, ps: &PipelineState, handoff: bool, window: Duration) -> Result<()> {
+        if handoff {
+            let mut ctl = self.lock_ctl(ps);
+            if ctl.leader_running {
+                // A freshly-arrived committer self-elected before we woke:
+                // it will cut our batch; go back to waiting.
+                return Ok(());
+            }
+            ctl.leader_running = true;
+            drop(ctl);
+            StoreStats::bump(&self.stats.wal_pipeline_depth);
+        } else if self.committers.load(Ordering::Acquire) > 1 {
+            // A self-elected leader has no fsync running ahead of it to
+            // fill its batch, so the tuner steers the cut point instead:
+            // give dense arrivals one window to pile in before cutting.
+            // (A solo committer skips the wait — nobody to batch with.)
+            let wait = self.steered_window(window);
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+        }
+        let cell = {
+            let mut ctl = self.lock_ctl(ps);
+            let cell = Arc::clone(&ctl.filling);
+            ctl.filling = Arc::new(BatchCell::new());
+            ctl.filling_waiters = 0;
+            cell
+        };
+        let synced = (|| -> Result<u64> {
+            let file;
+            let end;
+            {
+                let mut inner = self.lock_inner();
+                self.publish_locked(&mut inner)?;
+                end = inner.next_lsn - 1;
+                // Rotation fsyncs the outgoing segment before switching,
+                // so syncing the current file's clone covers every record
+                // up to `end` regardless of segment boundaries.
+                file = inner
+                    .file
+                    .try_clone()
+                    .map_err(|e| io_err("clone wal segment fd", e))?;
+            }
+            self.fault.check()?;
+            let t0 = Instant::now();
+            self.fault.fsync_delay();
+            file.sync_data().map_err(|e| io_err("wal fsync", e))?;
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.stats.record_fsync(ns);
+            if let Some(t) = &self.tuner {
+                t.note_fsync(ns);
+            }
+            Ok(end)
+        })();
+        let (next_cell, err) = {
+            let mut ctl = self.lock_ctl(ps);
+            let err = match &synced {
+                Ok(end) => {
+                    if *end > ctl.durable_lsn {
+                        ctl.durable_lsn = *end;
+                    }
+                    None
+                }
+                Err(e) => Some(e.clone()),
+            };
+            ctl.leader_running = false;
+            let next = (ctl.filling_waiters > 0).then(|| Arc::clone(&ctl.filling));
+            (next, err)
+        };
+        if let Ok(end) = synced {
+            // Keep the blocking-window path's view coherent: `sync_to`
+            // short-circuits on `flushed`, checkpoints read it, and the
+            // batch-size counters stay exact by always accounting against
+            // this one ledger (never against `durable_lsn` too).
+            let mut flushed = self.lock_flushed();
+            if *flushed < end {
+                StoreStats::bump(&self.stats.wal_group_commits);
+                StoreStats::add(&self.stats.wal_group_commit_records, end - *flushed);
+                *flushed = end;
+            }
+            self.flush_cv.notify_all();
+        }
+        {
+            let mut gate = self.lock_gate(&cell);
+            gate.done = true;
+            gate.failed = err.is_some();
+            cell.cv.notify_all();
+        }
+        if let Some(next) = next_cell {
+            // Hand the baton to the batch that filled during our fsync
+            // (even on error: its waiters must self-rescue, not hang).
+            let mut gate = self.lock_gate(&next);
+            if !gate.done {
+                gate.lead_token = true;
+                next.cv.notify_all();
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// fsyncs everything appended so far if `lsn` is not yet durable.
     /// Publishes any staged records first — this is the single chokepoint
     /// where a leader's fsync covers every waiter's staged record.
@@ -757,6 +1046,7 @@ impl Wal {
         }
         self.fault.check()?;
         let t0 = Instant::now();
+        self.fault.fsync_delay();
         inner.file.sync_data().map_err(|e| io_err("wal fsync", e))?;
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.record_fsync(ns);
@@ -1459,6 +1749,119 @@ mod tests {
             snap.wal_fsyncs
         );
         assert_eq!(snap.wal_group_commit_records, 100);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pipelined_commit_stays_exact_under_concurrency() {
+        // Pipeline + staging on, fsync dilated so batches demonstrably
+        // fill while the leader syncs: every record must still become
+        // durable exactly once in the accounting, the log must scan clean
+        // and contiguous, and at least one leadership hand-off (a batch
+        // that filled during a running fsync) must be observed.
+        let dir = tmpdir("pipeline");
+        let stats = Arc::new(StoreStats::default());
+        let fault = Arc::new(FaultInjector::new());
+        let w = Arc::new(
+            Wal::open(
+                &dir,
+                FsyncPolicy::Group {
+                    window: Duration::from_micros(500),
+                },
+                1 << 20,
+                1,
+                1,
+                Arc::clone(&fault),
+                Arc::clone(&stats),
+            )
+            .unwrap()
+            .with_staging(true)
+            .with_pipeline(true),
+        );
+        fault.set_fsync_delay(Duration::from_millis(2));
+        // A hand-off needs a successor thread to arrive while the leader
+        // is inside fsync; a starved scheduler can serialize the writers,
+        // so run rounds until the depth counter moves.
+        let mut rounds = 0u32;
+        loop {
+            let mut handles = vec![];
+            for t in 0..4 {
+                let w = Arc::clone(&w);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..25u32 {
+                        w.log_put(pid(1 + rounds * 1_000 + t * 100 + i), &[0; 8])
+                            .unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            rounds += 1;
+            if stats.snapshot().wal_pipeline_depth >= 1 || rounds == 20 {
+                break;
+            }
+        }
+        let total = u64::from(rounds) * 100;
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.wal_group_commit_records, total,
+            "every record durable, none double-counted"
+        );
+        assert!(
+            snap.wal_fsyncs < total,
+            "pipelined commit must batch: {} fsyncs for {total} records",
+            snap.wal_fsyncs
+        );
+        assert!(
+            snap.wal_pipeline_depth >= 1,
+            "a 2ms fsync with 4 writers must overlap at least one batch fill"
+        );
+        let mut n = 0u64;
+        let report = scan(&dir, 1, 1, 64, |_, _| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, total);
+        assert!(!report.torn);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pipelined_commit_propagates_fsync_failure() {
+        // Once the injector trips, a pipelined committer must report the
+        // failure, not acknowledge a commit that never became durable.
+        let dir = tmpdir("pipefail");
+        let fault = Arc::new(FaultInjector::new());
+        let w = Arc::new(
+            Wal::open(
+                &dir,
+                FsyncPolicy::Group {
+                    window: Duration::from_micros(500),
+                },
+                1 << 20,
+                1,
+                1,
+                Arc::clone(&fault),
+                Arc::new(StoreStats::default()),
+            )
+            .unwrap()
+            .with_staging(true)
+            .with_pipeline(true),
+        );
+        w.log_put(pid(1), &[1; 8]).unwrap();
+        fault.crash_after_wal_records(0);
+        let mut handles = vec![];
+        for t in 0..3 {
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || {
+                w.log_put(pid(10 + t), &[2; 8]).is_err()
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap(), "post-trip commits must fail");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -79,10 +79,20 @@ pub enum LockClass {
     HeapRecycle = 11,
     /// The `Db` read-session pool.
     SessionPool = 12,
+    /// A pipelined-commit batch: the pipeline control mutex (`Wal`'s
+    /// leader/durable-LSN state) and each in-flight batch's completion
+    /// gate share this class. Entered from the same sites as
+    /// `CommitWindow`; the leader must never hold the control mutex while
+    /// taking a batch gate (same-class nesting is forbidden).
+    WalBatch = 13,
+    /// The background flusher's control mutex (watermark state + shutdown
+    /// flag). A pure leaf: foreground throttling and flusher drains take
+    /// it with nothing else held.
+    FlusherQueue = 14,
 }
 
 #[cfg_attr(not(feature = "latch-audit"), allow(dead_code))]
-const NCLASSES: usize = 13;
+const NCLASSES: usize = 15;
 
 /// The protocol whitelist: may a thread holding `from` acquire `to`?
 /// Same-class pairs are governed separately (see `reentrant`); this table
@@ -104,6 +114,7 @@ pub const fn edge_allowed(from: LockClass, to: LockClass) -> bool {
                 | WalAppend
                 | WalSlot
                 | CommitWindow
+                | WalBatch
                 | SlotsMap
                 | FreeList
                 | PoolShard
@@ -114,19 +125,24 @@ pub const fn edge_allowed(from: LockClass, to: LockClass) -> bool {
         // mutexes may be taken below it.
         FrameLatch => matches!(
             to,
-            SlotLatch | WalAppend | WalSlot | CommitWindow | SlotsMap | PoolShard
+            SlotLatch | WalAppend | WalSlot | CommitWindow | WalBatch | SlotsMap | PoolShard
         ),
         // Under a slot latch: journal appends (append mutex, staging
-        // slots, the commit window) and pool-shard checks
-        // (`is_mapped`/`still_flushing`).
-        SlotLatch => matches!(to, WalAppend | WalSlot | CommitWindow | PoolShard),
+        // slots, the commit window / pipeline batches) and pool-shard
+        // checks (`is_mapped`/`still_flushing`).
+        SlotLatch => matches!(
+            to,
+            WalAppend | WalSlot | CommitWindow | WalBatch | PoolShard
+        ),
         // The publish leader drains staging slots and `sync_to` enters the
         // commit window, both under the append mutex.
         WalAppend => matches!(to, WalSlot | CommitWindow),
         // Leaves: nothing may be acquired while one of these is held.
-        WalSlot | CommitWindow | SlotsMap | FreeList | PoolShard | HeapRecycle | SessionPool => {
-            false
-        }
+        // `WalBatch` is deliberately a leaf with same-class nesting
+        // forbidden: the pipeline leader reads the batch cell out of the
+        // control mutex, drops it, and only then touches the cell's gate.
+        WalSlot | CommitWindow | WalBatch | SlotsMap | FreeList | PoolShard | HeapRecycle
+        | SessionPool | FlusherQueue => false,
     }
 }
 
@@ -280,6 +296,8 @@ mod imp {
             "PoolShard",
             "HeapRecycle",
             "SessionPool",
+            "WalBatch",
+            "FlusherQueue",
         ][i]
     }
 
@@ -781,6 +799,8 @@ mod tests {
             LockClass::PoolShard,
             LockClass::HeapRecycle,
             LockClass::SessionPool,
+            LockClass::WalBatch,
+            LockClass::FlusherQueue,
         ];
         // Kahn's algorithm over the cross-class whitelist.
         let mut indeg = [0usize; N];

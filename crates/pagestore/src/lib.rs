@@ -40,9 +40,11 @@ pub mod audit;
 pub mod backend;
 pub mod clock;
 pub mod error;
+pub(crate) mod flusher;
 pub mod heap;
 pub mod hist;
 pub mod journal;
+pub mod mmap;
 pub mod page;
 pub mod pool;
 pub mod reclaim;

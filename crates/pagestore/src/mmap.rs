@@ -1,0 +1,169 @@
+//! A minimal read-only `mmap` wrapper for the zero-syscall read path.
+//!
+//! [`MmapRegion`] maps a file `MAP_SHARED`/`PROT_READ` over a large fixed
+//! reservation (the file may be much shorter — the region length is an
+//! upper bound, not the file length). Linux's unified page cache keeps the
+//! mapping coherent with ordinary `write(2)`s through the same file, and a
+//! later `ftruncate` growth makes the newly covered range readable without
+//! remapping — so a page-store backend can reserve once at open and serve
+//! every in-bounds read with a plain memory copy.
+//!
+//! The syscalls are declared by hand (the build is dependency-free); the
+//! constants are the x86-64/aarch64 Linux values, which this repo's CI
+//! matrix covers.
+//!
+//! ## Why the bounds contract is safe
+//!
+//! Touching a mapped offset beyond the file's current end raises `SIGBUS`,
+//! so [`MmapRegion::copy_to`] must only be called for ranges below the
+//! file's length. The backend guarantees that by gating every read with
+//! its capacity gauge, which is advanced *after* the `set_len` that grows
+//! the file — and nothing in this codebase ever shrinks a page file.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: c_int = 1;
+const MAP_SHARED: c_int = 1;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+}
+
+/// Largest reservation attempted; halved on failure down to `MIN_RESERVE`.
+const MAX_RESERVE: usize = 16 << 30;
+/// Below this the mapping is not worth keeping — fall back to `pread`.
+const MIN_RESERVE: usize = 1 << 20;
+
+/// A read-only shared mapping of a file (see module docs).
+#[derive(Debug)]
+pub struct MmapRegion {
+    base: *const u8,
+    len: usize,
+}
+
+// SAFETY: the region is an immutable view of file-backed memory; the raw
+// pointer is only read through `copy_to` (plain byte loads, valid from any
+// thread) and freed exactly once in `Drop`.
+unsafe impl Send for MmapRegion {}
+// SAFETY: as above — concurrent `copy_to` calls are concurrent reads.
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    /// Maps `file` read-only over the largest reservation the kernel
+    /// grants (halving from `MAX_RESERVE`). Returns `None` when even
+    /// `MIN_RESERVE` is refused — the caller falls back to `pread`.
+    pub fn map(file: &File) -> Option<MmapRegion> {
+        let fd = file.as_raw_fd();
+        let mut len = MAX_RESERVE;
+        while len >= MIN_RESERVE {
+            // SAFETY: a fresh `MAP_SHARED | PROT_READ` mapping of a valid
+            // fd at a kernel-chosen address; we only ever read it, and
+            // only through `copy_to`'s bounds-checked path. `MAP_FAILED`
+            // is `(void*)-1`, checked below.
+            let p = unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_SHARED, fd, 0) };
+            if p as usize != usize::MAX {
+                return Some(MmapRegion {
+                    base: p as *const u8,
+                    len,
+                });
+            }
+            len /= 2;
+        }
+        None
+    }
+
+    /// Bytes the reservation covers (an upper bound on readable offsets;
+    /// the file's current length is the real one — see module docs).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never true: `map` refuses reservations below `MIN_RESERVE`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies `buf.len()` bytes starting at file offset `off` into `buf`.
+    /// Returns `false` (copying nothing) when the range is outside the
+    /// reservation. The caller must keep the range below the file's
+    /// current length (module docs).
+    pub fn copy_to(&self, off: usize, buf: &mut [u8]) -> bool {
+        let Some(end) = off.checked_add(buf.len()) else {
+            return false;
+        };
+        if end > self.len {
+            return false;
+        }
+        // SAFETY: `off + buf.len() <= self.len`, so the source range lies
+        // inside the live mapping; source and destination cannot overlap
+        // (`buf` is ordinary heap/stack memory, the source is the file
+        // mapping). The caller upholds the beyond-EOF contract above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.base.add(off), buf.as_mut_ptr(), buf.len());
+        }
+        true
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // SAFETY: `base`/`len` are exactly what `mmap` returned, unmapped
+        // only here.
+        unsafe {
+            munmap(self.base as *mut c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_reads_and_tracks_growth() {
+        let dir = std::env::temp_dir().join(format!("blink_mmap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages");
+        let mut f = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"hello world").unwrap();
+        f.sync_all().unwrap();
+        let region = MmapRegion::map(&f).expect("mapping a small file must succeed");
+        let mut buf = [0u8; 5];
+        assert!(region.copy_to(6, &mut buf));
+        assert_eq!(&buf, b"world");
+        // Out-of-reservation reads are refused, not faulted.
+        assert!(!region.copy_to(region.len(), &mut buf));
+        assert!(!region.copy_to(usize::MAX - 2, &mut buf));
+        // Writes through the fd are visible through the mapping (unified
+        // page cache), including past the original EOF after growth.
+        use std::os::unix::fs::FileExt;
+        f.write_at(b"WORLD", 6).unwrap();
+        assert!(region.copy_to(6, &mut buf));
+        assert_eq!(&buf, b"WORLD");
+        f.set_len(4096).unwrap();
+        f.write_at(b"grown", 2048).unwrap();
+        assert!(region.copy_to(2048, &mut buf));
+        assert_eq!(&buf, b"grown");
+        drop(region);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -42,7 +42,7 @@ use crate::page::PageId;
 use crate::stats::StoreStats;
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -224,6 +224,12 @@ pub(crate) struct BufferPool {
     shards: Box<[Shard]>,
     capacity: usize,
     stats: Arc<StoreStats>,
+    /// Number of frames whose `dirty` bit is currently set. Maintained by
+    /// [`BufferPool::mark_dirty`] / [`BufferPool::clear_dirty`] — every
+    /// transition of a frame's dirty bit must go through those two methods
+    /// so the gauge stays exact. The flusher's watermarks and the
+    /// clean-store fast path in `PageStore::flush` read it lock-free.
+    dirty_gauge: AtomicUsize,
 }
 
 impl BufferPool {
@@ -251,7 +257,33 @@ impl BufferPool {
             shards: shards.into_boxed_slice(),
             capacity: frames,
             stats,
+            dirty_gauge: AtomicUsize::new(0),
         }
+    }
+
+    /// Sets `f`'s dirty bit, keeping the pool-wide gauge exact. Idempotent:
+    /// only a clean→dirty transition bumps the gauge.
+    pub(crate) fn mark_dirty(&self, f: &Frame) {
+        if !f.dirty.swap(true, Ordering::AcqRel) {
+            self.dirty_gauge.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Clears `f`'s dirty bit. Returns `true` when the frame *was* dirty
+    /// (the caller won the write-back and owes the backend those bytes).
+    pub(crate) fn clear_dirty(&self, f: &Frame) -> bool {
+        if f.dirty.swap(false, Ordering::AcqRel) {
+            let prev = self.dirty_gauge.fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "dirty gauge underflow");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current number of dirty frames (exact, lock-free).
+    pub(crate) fn dirty_count(&self) -> usize {
+        self.dirty_gauge.load(Ordering::Acquire)
     }
 
     /// Acquires a shard mutex, timing only the contended (slow) path into
@@ -325,7 +357,7 @@ impl BufferPool {
                 st.map.insert(pid, i);
                 f.pins.fetch_add(1, Ordering::AcqRel);
                 f.referenced.store(true, Ordering::Relaxed);
-                f.dirty.store(false, Ordering::Relaxed);
+                self.clear_dirty(f);
                 return Claim::Miss {
                     frame: f,
                     idx: i,
@@ -393,7 +425,7 @@ impl BufferPool {
             st.meta[idx].resident = None;
         }
         let f = &shard.frames[idx];
-        f.dirty.store(false, Ordering::Relaxed);
+        self.clear_dirty(f);
         f.owner.store(0, Ordering::Release);
         f.unpin();
     }
@@ -433,7 +465,7 @@ impl BufferPool {
             // its bytes no longer matter — leave the frame an orphan.
             _ => {
                 st.meta[idx].resident = None;
-                shard.frames[idx].dirty.store(false, Ordering::Relaxed);
+                self.clear_dirty(&shard.frames[idx]);
             }
         }
         shard.frames[idx].unpin();
@@ -453,7 +485,7 @@ impl BufferPool {
             if st.meta[i].resident == Some(pid) {
                 st.map.remove(&pid);
                 st.meta[i].resident = None;
-                shard.frames[i].dirty.store(false, Ordering::Relaxed);
+                self.clear_dirty(&shard.frames[i]);
             } else if st.meta[i].flushing == Some(pid) {
                 // Mid-eviction of a page that was just freed: drop the stale
                 // mapping now; the evictor's flush skips unallocated pages.
@@ -508,6 +540,58 @@ impl BufferPool {
                         f.pins.fetch_add(1, Ordering::AcqRel);
                         out.push((f, pid));
                     }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pins and returns up to `max` dirty resident frames, visiting each
+    /// shard's frames **in clock-hand order** starting at the current hand:
+    /// the flusher cleans the frames the clock will reach soonest, so
+    /// foreground evictions find clean victims and skip the write-back.
+    /// Does not advance the hand — cleaning a frame costs it nothing.
+    pub(crate) fn pin_dirty_batch(&self, max: usize) -> Vec<(&Frame, PageId)> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        for shard in self.shards.iter() {
+            let st = self.lock_shard(shard);
+            let n = shard.frames.len();
+            for k in 0..n {
+                let i = (st.hand + k) % n;
+                if let Some(pid) = st.meta[i].resident {
+                    let f = &shard.frames[i];
+                    if f.dirty.load(Ordering::Acquire) {
+                        f.pins.fetch_add(1, Ordering::AcqRel);
+                        out.push((f, pid));
+                        if out.len() >= max {
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Pins and returns **every** resident frame, dirty or not — the fuzzy
+    /// checkpoint's writer barrier. Visiting a clean frame matters there:
+    /// the checkpoint must *acquire each frame's read latch* to wait out
+    /// in-flight writers (who hold the write latch from before their WAL
+    /// append until after the dirty bit is set), so a dirty-only snapshot
+    /// taken here could miss a write whose record predates the checkpoint
+    /// cut. The caller re-checks `dirty` under the latch.
+    pub(crate) fn pin_resident_all(&self) -> Vec<(&Frame, PageId)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let st = self.lock_shard(shard);
+            for (i, m) in st.meta.iter().enumerate() {
+                if let Some(pid) = m.resident {
+                    let f = &shard.frames[i];
+                    f.pins.fetch_add(1, Ordering::AcqRel);
+                    out.push((f, pid));
                 }
             }
         }
@@ -579,7 +663,7 @@ mod tests {
         let f1 = match p.claim(pid(1)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(1, Ordering::Release);
-                frame.dirty.store(true, Ordering::Release);
+                p.mark_dirty(frame);
                 p.complete_miss(pid(1), idx);
                 frame.unpin();
                 frame as *const Frame
@@ -631,7 +715,7 @@ mod tests {
         match p.claim(pid(1)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(1, Ordering::Release);
-                frame.dirty.store(true, Ordering::Release);
+                p.mark_dirty(frame);
                 p.complete_miss(pid(1), idx);
                 frame.unpin();
             }
@@ -669,7 +753,7 @@ mod tests {
         match p.claim(pid(1)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(1, Ordering::Release);
-                frame.dirty.store(true, Ordering::Release);
+                p.mark_dirty(frame);
                 p.complete_miss(pid(1), idx);
                 frame.unpin();
             }
@@ -699,7 +783,7 @@ mod tests {
         match p.claim(pid(7)) {
             Claim::Miss { frame, idx, .. } => {
                 frame.owner.store(7, Ordering::Release);
-                frame.dirty.store(true, Ordering::Release);
+                p.mark_dirty(frame);
                 p.complete_miss(pid(7), idx);
                 frame.unpin();
             }
@@ -726,7 +810,7 @@ mod tests {
                 Claim::Miss { frame, idx, .. } => {
                     frame.owner.store(n, Ordering::Release);
                     if n != 2 {
-                        frame.dirty.store(true, Ordering::Release);
+                        p.mark_dirty(frame);
                     }
                     p.complete_miss(pid(n), idx);
                     frame.unpin();

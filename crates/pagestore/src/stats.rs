@@ -237,6 +237,20 @@ store_stats! {
         /// Optimistic snapshot attempts that fell back to the latched read
         /// path (non-resident page, writer in the window, owner moved).
         optimistic_read_fallbacks,
+        /// Pipelined group commits where the fsync leader rolled straight
+        /// into the next filled batch without ever standing down — each
+        /// bump is one batch whose fill fully overlapped the previous
+        /// batch's fsync (the pipeline actually pipelining).
+        wal_pipeline_depth,
+        /// Dirty frames written back by the background flusher thread
+        /// (a subset of `dirty_writebacks`).
+        flusher_pages_written,
+        /// Background-flusher drain passes that found dirty frames to
+        /// write (wakeups that did real work).
+        flusher_wakeups,
+        /// Total nanoseconds foreground writers spent throttled waiting
+        /// for the flusher to drain below the high-dirty watermark.
+        flusher_backpressure_ns,
     }
     hists {
         /// Individual paper-lock waits (contended acquisitions only).
@@ -259,6 +273,10 @@ store_stats! {
         wal_commit_wait_hist,
         /// Individual WAL fsync durations.
         fsync_hist,
+        /// Individual foreground waits for flusher backpressure (a writer
+        /// throttled at the high-dirty watermark until the flusher
+        /// drained; uncontended puts record nothing).
+        flusher_backpressure_hist,
     }
 }
 
@@ -330,6 +348,13 @@ impl StoreStats {
         StoreStats::bump(&self.wal_fsyncs);
         StoreStats::add(&self.wal_fsync_ns, ns);
         self.fsync_hist.record(ns);
+    }
+
+    /// Records one foreground throttle at the high-dirty watermark: adds
+    /// to the backpressure sum and the wait histogram.
+    pub fn record_flusher_backpressure(&self, ns: u64) {
+        StoreStats::add(&self.flusher_backpressure_ns, ns);
+        self.flusher_backpressure_hist.record(ns);
     }
 }
 
@@ -423,6 +448,7 @@ mod tests {
         s.record_wal_append_wait(60);
         s.record_wal_commit_wait(70);
         s.record_fsync(80);
+        s.record_flusher_backpressure(90);
         let snap = s.snapshot();
         for &name in StatsSnapshot::HIST_NAMES {
             let h = snap
@@ -430,7 +456,7 @@ mod tests {
                 .unwrap_or_else(|| panic!("hist missing {name}"));
             assert_eq!(h.count(), 1, "hist {name} must have the one sample");
         }
-        assert_eq!(StatsSnapshot::HIST_NAMES.len(), 8);
+        assert_eq!(StatsSnapshot::HIST_NAMES.len(), 9);
         // Each record_* helper also maintained its sum/contended counters.
         assert_eq!(snap.lock_contended, 1);
         assert_eq!(snap.pool_wait_ns, 30);
@@ -440,6 +466,7 @@ mod tests {
         assert_eq!(snap.wal_commit_wait_ns, 70);
         assert_eq!(snap.wal_fsyncs, 1);
         assert_eq!(snap.wal_fsync_ns, 80);
+        assert_eq!(snap.flusher_backpressure_ns, 90);
     }
 
     #[test]

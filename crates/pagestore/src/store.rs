@@ -52,7 +52,7 @@ use crate::stats::StoreStats;
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::ops::Deref;
 use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Configuration for a [`PageStore`].
@@ -76,6 +76,13 @@ pub struct StoreConfig {
     /// full images, since only the frame write latch serializes same-page
     /// writers tightly enough for delta chains to be replay-exact.
     pub delta_puts: bool,
+    /// Run a dedicated background thread that writes dirty frames back to
+    /// the backend in clock-hand order whenever the dirty-page gauge rises
+    /// above a low watermark, so foreground evictions almost never pay a
+    /// `PageBackend::write`. Writers stall briefly (bounded) only above a
+    /// high watermark. Requires a pool (`pool_frames > 0`); off by default
+    /// — in-memory stores have nothing to gain from it.
+    pub background_flusher: bool,
 }
 
 impl Default for StoreConfig {
@@ -85,6 +92,7 @@ impl Default for StoreConfig {
             io_delay: None,
             pool_frames: 1024,
             delta_puts: true,
+            background_flusher: false,
         }
     }
 }
@@ -499,9 +507,7 @@ impl PageWrite<'_> {
                             set_page_lsn(guard.as_mut().expect("live guard"), lsn);
                         }
                         frame.end_write();
-                        frame
-                            .dirty
-                            .store(true, std::sync::atomic::Ordering::Release);
+                        store.pool.mark_dirty(frame);
                         drop(guard);
                         frame.unpin();
                         Ok(())
@@ -536,9 +542,7 @@ impl PageWrite<'_> {
                             set_page_lsn(guard.as_mut().expect("live guard"), lsn);
                         }
                         frame.end_write();
-                        frame
-                            .dirty
-                            .store(true, std::sync::atomic::Ordering::Release);
+                        store.pool.mark_dirty(frame);
                         frame
                             .owner
                             .store(pid.to_raw(), std::sync::atomic::Ordering::Release);
@@ -610,6 +614,9 @@ pub struct PageStore {
     /// [`PageStore::advance_checkpoint_epoch`]). A page whose
     /// `Slot::base_epoch` lags this must log a full image before any delta.
     epoch: AtomicU64,
+    /// The background write-back thread (see [`crate::flusher`]), spawned
+    /// after the `Arc` exists when `StoreConfig::background_flusher` is on.
+    flusher: OnceLock<crate::flusher::FlusherHandle>,
 }
 
 impl PageStore {
@@ -647,7 +654,7 @@ impl PageStore {
                 free.push(PageId::from_index(i));
             }
         }
-        Ok(Arc::new(PageStore {
+        let store = Arc::new(PageStore {
             pool: BufferPool::new(cfg.pool_frames, cfg.page_size, Arc::clone(&stats)),
             zero: vec![0u8; cfg.page_size].into_boxed_slice(),
             cfg,
@@ -657,7 +664,12 @@ impl PageStore {
             free: Mutex::new(free),
             stats,
             epoch: AtomicU64::new(1),
-        }))
+            flusher: OnceLock::new(),
+        });
+        if store.cfg.background_flusher && store.pool.capacity() > 0 {
+            let _ = store.flusher.set(crate::flusher::spawn(&store));
+        }
+        Ok(store)
     }
 
     /// Acquires a frame's read latch, timing only the contended path into
@@ -753,6 +765,13 @@ impl PageStore {
         // Write-ahead barrier: a staged journal must have every accepted
         // record in the log file before any frame bytes reach the backend.
         self.publish_journal()?;
+        // Clean-store fast path: when the background flusher (or a prior
+        // flush) already drained everything, skip the all-shards sweep.
+        // The gauge is exact, so a zero here means no frame has its dirty
+        // bit set — there is nothing a sweep could find.
+        if self.pool.dirty_count() == 0 {
+            return Ok(());
+        }
         let mut first_err = None;
         for (frame, pid) in self.pool.pin_dirty() {
             let r = (|| -> Result<()> {
@@ -762,9 +781,14 @@ impl PageStore {
                 // Claim the dirty bit before writing: a concurrent put needs
                 // the frame's write latch (blocked by `guard`), so nothing
                 // can re-dirty the bytes mid-write.
-                if *allocated && frame.dirty.swap(false, std::sync::atomic::Ordering::AcqRel) {
+                if *allocated && self.pool.clear_dirty(frame) {
                     self.simulate_io();
-                    self.backend.write(pid.index(), &guard)?;
+                    if let Err(e) = self.backend.write(pid.index(), &guard) {
+                        // The frame bytes are the only up-to-date copy;
+                        // re-dirty so a later flush retries the write-back.
+                        self.pool.mark_dirty(frame);
+                        return Err(e);
+                    }
                     StoreStats::bump(&self.stats.dirty_writebacks);
                 }
                 Ok(())
@@ -789,6 +813,136 @@ impl PageStore {
         }
         self.flush()?;
         self.backend.sync()
+    }
+
+    /// The fuzzy checkpoint's writer barrier: after this returns, the
+    /// backend durably holds the effect of **every page write whose WAL
+    /// record was appended before the call began** — even writes that were
+    /// still mid-commit on other threads — without quiescing the store.
+    ///
+    /// Three waits compose the guarantee:
+    ///
+    /// 1. **Frame writers.** A committing frame writer holds the frame's
+    ///    *write* latch from before its WAL append until after the dirty
+    ///    bit is set. Acquiring the *read* latch of every resident frame
+    ///    therefore waits out all in-flight frame commits; any pre-existing
+    ///    append's dirty bit is then visible and swept here.
+    /// 2. **Bypass writers** (`write_bypass`) append and write the backend
+    ///    inside one slot-latch critical section, so tapping every
+    ///    allocated slot's latch waits those out; their backend writes are
+    ///    then covered by the final `backend.sync`.
+    /// 3. The journal is synced and published first, preserving write-ahead
+    ///    order for everything this barrier writes back.
+    ///
+    /// Writes that begin *during* the barrier may or may not be included —
+    /// that is the fuzziness; recovery replays their records from the live
+    /// WAL suffix, gated by each page's stamped LSN.
+    pub fn flush_for_checkpoint(&self) -> Result<()> {
+        if let Some(j) = &self.journal {
+            j.sync()?;
+        }
+        self.publish_journal()?;
+        let mut first_err = None;
+        for (frame, pid) in self.pool.pin_resident_all() {
+            let r = (|| -> Result<()> {
+                let guard = self.latch_read(frame);
+                let slot = self.slot(pid)?;
+                let allocated = slot.latch();
+                if *allocated && frame.owned_by(pid) && self.pool.clear_dirty(frame) {
+                    self.simulate_io();
+                    if let Err(e) = self.backend.write(pid.index(), &guard) {
+                        self.pool.mark_dirty(frame);
+                        return Err(e);
+                    }
+                    StoreStats::bump(&self.stats.dirty_writebacks);
+                }
+                Ok(())
+            })();
+            frame.unpin();
+            if let Err(e) = r {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Bypass-writer barrier (wait 2 above). The slot table is cloned
+        // out first — SlotsMap is a leaf, no slot latch under it.
+        let slots: Vec<Arc<Slot>> = self.slots_read().iter().cloned().collect();
+        for slot in slots {
+            drop(slot.latch());
+        }
+        self.backend.sync()
+    }
+
+    /// Dirty-page count above which the flusher starts draining.
+    fn flusher_low_watermark(&self) -> usize {
+        (self.pool.capacity() / 8).max(4)
+    }
+
+    /// Dirty-page count above which writers stall (bounded) for the
+    /// flusher — backpressure so a write burst cannot fill the pool with
+    /// dirty frames faster than the backend absorbs them.
+    fn flusher_high_watermark(&self) -> usize {
+        (self.pool.capacity() / 2).max(8)
+    }
+
+    /// One background write-back pass (called from the flusher thread):
+    /// drains dirty frames in clock-hand order down to the low watermark.
+    /// Returns whether any page was written.
+    pub(crate) fn flusher_pass(&self) -> bool {
+        let count = self.pool.dirty_count();
+        let low = self.flusher_low_watermark();
+        if count <= low {
+            return false;
+        }
+        StoreStats::bump(&self.stats.flusher_wakeups);
+        // Write-ahead barrier, same as `flush`. On a journal error leave
+        // the frames dirty; the next foreground flush surfaces it.
+        if self.publish_journal().is_err() {
+            return false;
+        }
+        let mut wrote = false;
+        for (frame, pid) in self.pool.pin_dirty_batch(count - low) {
+            let r = (|| -> Result<bool> {
+                let guard = self.latch_read(frame);
+                let slot = self.slot(pid)?;
+                let allocated = slot.latch();
+                if *allocated && frame.owned_by(pid) && self.pool.clear_dirty(frame) {
+                    self.simulate_io();
+                    if let Err(e) = self.backend.write(pid.index(), &guard) {
+                        // The frame bytes are the only up-to-date copy.
+                        self.pool.mark_dirty(frame);
+                        return Err(e);
+                    }
+                    StoreStats::bump(&self.stats.dirty_writebacks);
+                    StoreStats::bump(&self.stats.flusher_pages_written);
+                    return Ok(true);
+                }
+                Ok(false)
+            })();
+            wrote |= matches!(r, Ok(true));
+            frame.unpin();
+        }
+        wrote
+    }
+
+    /// Foreground backpressure: when the dirty-page gauge is above the
+    /// high watermark, kick the flusher and wait (briefly, bounded) for it
+    /// to drain below. A no-op unless this store runs a background
+    /// flusher. Call before starting a write.
+    pub fn throttle_dirty(&self) {
+        let Some(h) = self.flusher.get() else {
+            return;
+        };
+        let high = self.flusher_high_watermark();
+        if self.pool.dirty_count() < high {
+            return;
+        }
+        let t0 = Instant::now();
+        h.kick_and_wait(|| self.pool.dirty_count() < high);
+        self.stats
+            .record_flusher_backpressure(t0.elapsed().as_nanos() as u64);
     }
 
     /// Total slots ever allocated (live + free-listed).
@@ -862,20 +1016,32 @@ impl PageStore {
     /// Starts a new checkpoint epoch: the next journaled write of every
     /// page logs a full image before any delta, so replay from the new
     /// checkpoint never meets a delta without a base under it. Called by
-    /// the durable layer's checkpoint (quiescent stores only).
+    /// the durable layer's checkpoint — twice per *fuzzy* checkpoint,
+    /// bracketing the WAL cut (see `DurableStore::checkpoint_begin` for
+    /// why the double advance makes the cut exact under concurrency).
+    ///
+    /// `Release` pairs with the `Acquire` epoch load in base logging: a
+    /// writer that observes the post-cut epoch value is guaranteed to
+    /// observe the WAL's advanced LSN counter too, so its record's LSN
+    /// lands at or after the cut.
     pub fn advance_checkpoint_epoch(&self) {
         self.epoch
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
     }
 
-    /// Marks `slot` as holding a full-image base record in the current
-    /// epoch (call after a successful full-image or alloc append, under
-    /// the slot's `allocated` latch).
-    fn note_base(&self, slot: &Slot) {
-        slot.base_epoch.store(
-            self.epoch.load(std::sync::atomic::Ordering::Relaxed),
-            std::sync::atomic::Ordering::Relaxed,
-        );
+    /// Marks `slot` as holding a full-image base record — but only when no
+    /// checkpoint-epoch advance spanned the append (`epoch_before` is the
+    /// value loaded before the record was logged). An advance mid-append
+    /// means the record's LSN may fall below a concurrent checkpoint's WAL
+    /// cut while the tag claims the new epoch; tagging 0 (never-fresh)
+    /// instead just costs one extra full image on the page's next write.
+    /// Call after a successful full-image or alloc append, under the
+    /// slot's `allocated` latch.
+    fn note_base(&self, slot: &Slot, epoch_before: u64) {
+        let now = self.epoch.load(std::sync::atomic::Ordering::Acquire);
+        let tag = if now == epoch_before { now } else { 0 };
+        slot.base_epoch
+            .store(tag, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Journals one committed page write — the heart of the delta-record
@@ -914,8 +1080,9 @@ impl PageStore {
             Some(ranges) if v2 => {
                 let coalesced = coalesce_ranges(ranges);
                 let encoded: usize = 15 + coalesced.iter().map(|&(_, len)| 4 + len).sum::<usize>();
-                let fresh_base = slot.base_epoch.load(std::sync::atomic::Ordering::Relaxed)
-                    == self.epoch.load(std::sync::atomic::Ordering::Relaxed);
+                let epoch_now = self.epoch.load(std::sync::atomic::Ordering::Acquire);
+                let fresh_base =
+                    slot.base_epoch.load(std::sync::atomic::Ordering::Relaxed) == epoch_now;
                 if !fresh_base {
                     StoreStats::bump(&self.stats.wal_delta_fallback_first_touch);
                 } else if encoded > self.cfg.page_size / 2 {
@@ -932,7 +1099,7 @@ impl PageStore {
                 } else {
                     let lsn = j.log_put_base(pid, bytes)?;
                     StoreStats::bump(&self.stats.wal_put_full_images);
-                    self.note_base(slot);
+                    self.note_base(slot, epoch_now);
                     Some(lsn)
                 }
             }
@@ -964,6 +1131,7 @@ impl PageStore {
             let slot = self.slot(pid).expect("free-listed page must exist");
             let mut allocated = slot.latch();
             debug_assert!(!*allocated, "page on free list was allocated");
+            let epoch_before = self.epoch.load(std::sync::atomic::Ordering::Acquire);
             let r = self
                 .log(|j| j.log_alloc(pid))
                 .and_then(|()| self.publish_journal())
@@ -975,7 +1143,7 @@ impl PageStore {
             }
             // The alloc record zeroes the page on replay — a valid base
             // for delta records in this epoch.
-            self.note_base(&slot);
+            self.note_base(&slot, epoch_before);
             // Publish only after the backend slot is zeroed: a pool loader
             // waiting on this latch must observe the zeroed image.
             *allocated = true;
@@ -995,12 +1163,13 @@ impl PageStore {
             PageId::from_index(idx)
         };
         let slot = self.slot(pid).expect("slot was just published");
+        let epoch_before = self.epoch.load(std::sync::atomic::Ordering::Acquire);
         if let Err(e) = self.log(|j| j.log_alloc(pid)) {
             *slot.latch() = false;
             self.lock_free().push(pid);
             return Err(e);
         }
-        self.note_base(&slot);
+        self.note_base(&slot, epoch_before);
         StoreStats::bump(&self.stats.allocs);
         Ok(pid)
     }
@@ -1219,9 +1388,7 @@ impl PageStore {
             self.pool.abort_miss(pid, idx);
             return Err(e);
         }
-        frame
-            .dirty
-            .store(false, std::sync::atomic::Ordering::Release);
+        self.pool.clear_dirty(frame);
         frame
             .owner
             .store(pid.to_raw(), std::sync::atomic::Ordering::Release);
@@ -1248,9 +1415,7 @@ impl PageStore {
             self.pool.restore_victim(pid, idx);
             return Err(e);
         }
-        frame
-            .dirty
-            .store(false, std::sync::atomic::Ordering::Release);
+        self.pool.clear_dirty(frame);
         Ok(())
     }
 
@@ -1352,9 +1517,7 @@ impl PageStore {
                     frame.begin_write();
                     guard.copy_from_slice(data);
                     frame.end_write();
-                    frame
-                        .dirty
-                        .store(true, std::sync::atomic::Ordering::Release);
+                    self.pool.mark_dirty(frame);
                     drop(guard);
                     frame.unpin();
                     return Ok(());
@@ -1393,9 +1556,7 @@ impl PageStore {
                     frame.begin_write();
                     guard.copy_from_slice(data);
                     frame.end_write();
-                    frame
-                        .dirty
-                        .store(true, std::sync::atomic::Ordering::Release);
+                    self.pool.mark_dirty(frame);
                     frame
                         .owner
                         .store(pid.to_raw(), std::sync::atomic::Ordering::Release);
@@ -1532,9 +1693,7 @@ impl PageStore {
                         self.pool.abort_miss(pid, idx);
                         return Err(e);
                     }
-                    frame
-                        .dirty
-                        .store(false, std::sync::atomic::Ordering::Release);
+                    self.pool.clear_dirty(frame);
                     audit::classify_frame(frame.audit_addr(), &guard);
                     return Ok(PageWrite {
                         store: self,
@@ -1646,6 +1805,17 @@ impl PageStore {
     pub fn unlock_all(&self, session: &mut Session) {
         while let Some(&pid) = session.held_locks().last() {
             self.unlock(pid, session);
+        }
+    }
+}
+
+impl Drop for PageStore {
+    fn drop(&mut self) {
+        // Stop the background flusher before the store's fields go away.
+        // `stop` self-detaches when the flusher thread itself is running
+        // this drop (it held the last `Arc` at the end of a pass).
+        if let Some(h) = self.flusher.take() {
+            h.stop();
         }
     }
 }
@@ -1901,6 +2071,7 @@ mod tests {
             io_delay: Some(Duration::from_micros(200)),
             pool_frames: 0,
             delta_puts: true,
+            background_flusher: false,
         });
         let pid = store.alloc().unwrap();
         let t0 = Instant::now();
@@ -1965,6 +2136,7 @@ mod pool_tests {
             io_delay: Some(Duration::from_micros(300)),
             pool_frames: 8,
             delta_puts: true,
+            background_flusher: false,
         });
         let pid = store.alloc().unwrap();
         // First get: miss (pays the delay and loads the frame); the rest hit.
@@ -1994,6 +2166,7 @@ mod pool_tests {
             io_delay: None,
             pool_frames: 4,
             delta_puts: true,
+            background_flusher: false,
         });
         let pid = store.alloc().unwrap();
         let mut p = Page::zeroed(64);
@@ -2024,6 +2197,7 @@ mod pool_tests {
             io_delay: None,
             pool_frames: 1,
             delta_puts: true,
+            background_flusher: false,
         });
         let a = store.alloc().unwrap();
         let b = store.alloc().unwrap();
@@ -2047,6 +2221,7 @@ mod pool_tests {
             io_delay: None,
             pool_frames: 2,
             delta_puts: true,
+            background_flusher: false,
         });
         let a = store.alloc().unwrap();
         let b = store.alloc().unwrap();
@@ -2074,6 +2249,7 @@ mod pool_tests {
             io_delay: None,
             pool_frames: 4,
             delta_puts: true,
+            background_flusher: false,
         });
         let pid = store.alloc().unwrap();
         store.get(pid).unwrap(); // resident now
@@ -2134,6 +2310,7 @@ mod pool_tests {
                 io_delay: None,
                 pool_frames: 1,
                 delta_puts: true,
+                background_flusher: false,
             },
             backend,
             None,
@@ -2167,6 +2344,7 @@ mod pool_tests {
             io_delay: None,
             pool_frames: 4,
             delta_puts: true,
+            background_flusher: false,
         });
         let pids: Vec<_> = (0..8).map(|_| store.alloc().unwrap()).collect();
         for pid in &pids {

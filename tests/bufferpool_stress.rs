@@ -43,6 +43,7 @@ fn guards_never_observe_torn_pages_under_eviction_pressure() {
         io_delay: None,
         pool_frames: 8,
         delta_puts: true,
+        background_flusher: false,
     });
     let pages: Vec<PageId> = (0..64).map(|_| store.alloc().unwrap()).collect();
     for &pid in &pages {
@@ -106,6 +107,7 @@ fn pinned_frames_are_never_evicted() {
         io_delay: None,
         pool_frames: 4,
         delta_puts: true,
+        background_flusher: false,
     });
     let hot = store.alloc().unwrap();
     store.put(hot, &patterned(page_size, 0xAB)).unwrap();
@@ -158,6 +160,7 @@ fn exhausted_pool_bypasses_instead_of_evicting() {
         io_delay: None,
         pool_frames: 2,
         delta_puts: true,
+        background_flusher: false,
     });
     let a = store.alloc().unwrap();
     let b = store.alloc().unwrap();
@@ -271,6 +274,7 @@ fn dirty_victims_hit_the_wal_before_the_backend() {
             io_delay: None,
             pool_frames: 4,
             delta_puts: true,
+            background_flusher: false,
         },
         Box::new(ProbedBackend {
             inner: MemBackend::new(page_size),

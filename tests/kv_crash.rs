@@ -358,6 +358,169 @@ fn torn_final_delta_record_is_discarded() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Applies ops `range` on an open session, updating `model`; returns the
+/// in-flight key if an op failed (the injected crash fired mid-run).
+fn apply_ops(
+    session: &mut sagiv_blink_repro::db::DbSession<'_>,
+    model: &mut BTreeMap<u64, Vec<u8>>,
+    range: std::ops::Range<u64>,
+    key_space: u64,
+) -> Option<u64> {
+    for i in range {
+        let op = op_at(i, key_space);
+        let (key, result) = match &op {
+            Op::Put(k, v) => (*k, session.put(*k, v).map(|_| ())),
+            Op::Delete(k) => (*k, session.delete(*k).map(|_| ())),
+        };
+        if result.is_err() {
+            return Some(key);
+        }
+        match op {
+            Op::Put(k, v) => {
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                model.remove(&k);
+            }
+        }
+    }
+    None
+}
+
+/// The fuzzy-checkpoint crash matrix: a run whose middle third executes
+/// **between** `checkpoint_begin` and `checkpoint_end` — writes landing
+/// behind the WAL cut while the checkpoint is in flight — crashed after
+/// every WAL record boundary. Each recovery must land on exactly the
+/// committed prefix, whichever side of the begin/end the boundary falls
+/// on: before the cut (replay from the old meta covers everything), inside
+/// the window (old meta + all segments, since `checkpoint_end` never ran
+/// its deletes), or after the end (replay from the new cut, whose
+/// first-touch full images sit under every post-cut delta).
+#[test]
+fn crash_matrix_across_a_fuzzy_checkpoint() {
+    const PHASE: u64 = 60;
+    const KEYS: u64 = 48;
+    let dir = tmpdir("fuzzyckpt");
+
+    // The whole run, fault-free: count records and prove the checkpoint
+    // really cut the log (recovery replay after a clean reopen is small).
+    let total_records = {
+        let db = Db::open(cfg(&dir)).unwrap();
+        let mut model = BTreeMap::new();
+        let mut s = db.session();
+        assert_eq!(apply_ops(&mut s, &mut model, 0..PHASE, KEYS), None);
+        let ds = db.durable().unwrap();
+        let token = ds.checkpoint_begin().unwrap();
+        assert_eq!(apply_ops(&mut s, &mut model, PHASE..2 * PHASE, KEYS), None);
+        ds.checkpoint_end(token).unwrap();
+        assert_eq!(
+            apply_ops(&mut s, &mut model, 2 * PHASE..3 * PHASE, KEYS),
+            None
+        );
+        drop(s);
+        let records = db.store().stats().snapshot().wal_records;
+        drop(db);
+        let db = Db::open(cfg(&dir)).unwrap();
+        let replayed = db.durable().unwrap().recovery().replayed;
+        assert!(
+            replayed < records,
+            "the checkpoint must bound replay ({replayed} of {records} replayed)"
+        );
+        drop(db);
+        records
+    };
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Crash after every record boundary of the same run; recover; check.
+    for n in 0..=total_records {
+        let db = Db::open(cfg(&dir)).unwrap();
+        db.durable().unwrap().fault().crash_after_wal_records(n);
+        let mut model = BTreeMap::new();
+        let mut s = db.session();
+        let mut inflight = apply_ops(&mut s, &mut model, 0..PHASE, KEYS);
+        if inflight.is_none() {
+            let ds = db.durable().unwrap();
+            // A checkpoint interrupted by the crash is itself part of the
+            // matrix: begin or end may fail once the fault trips, and
+            // recovery must then come from the *previous* meta.
+            match ds.checkpoint_begin() {
+                Ok(token) => {
+                    inflight = apply_ops(&mut s, &mut model, PHASE..2 * PHASE, KEYS);
+                    let _ = ds.checkpoint_end(token);
+                    if inflight.is_none() {
+                        inflight = apply_ops(&mut s, &mut model, 2 * PHASE..3 * PHASE, KEYS);
+                    }
+                }
+                Err(_) => {
+                    inflight = apply_ops(&mut s, &mut model, PHASE..3 * PHASE, KEYS);
+                }
+            }
+        }
+        drop(s);
+        drop(db);
+
+        let db = Db::open(cfg(&dir)).unwrap();
+        assert_consistent(&db, &model, inflight, KEYS);
+        let mut s = db.session();
+        s.put(u64::MAX - n, &n.to_le_bytes()).unwrap();
+        assert_eq!(
+            s.get(u64::MAX - n).unwrap().as_deref(),
+            Some(&n.to_le_bytes()[..])
+        );
+        drop(s);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Fuzzy means fuzzy: checkpoints loop while four writer threads churn.
+/// Every checkpoint must succeed, and the final database (reopened, so
+/// recovery replays from the last cut) must verify and hold every thread's
+/// last committed writes.
+#[test]
+fn fuzzy_checkpoints_run_under_concurrent_writers() {
+    let dir = tmpdir("fuzzylive");
+    const WRITERS: u64 = 4;
+    const OPS: u64 = 400;
+    {
+        let db = Arc::new(Db::open(cfg(&dir)).unwrap());
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    let mut s = db.session();
+                    for i in 0..OPS {
+                        let key = w * 10_000 + i % 97;
+                        s.put(key, &i.to_le_bytes()).unwrap();
+                        if i % 11 == 0 {
+                            s.delete(w * 10_000 + (i + 13) % 97).unwrap();
+                        }
+                    }
+                });
+            }
+            let db = Arc::clone(&db);
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    db.checkpoint().unwrap();
+                }
+            });
+        });
+        db.verify().unwrap().assert_ok();
+        db.sync().unwrap();
+    }
+    let db = Db::open(cfg(&dir)).unwrap();
+    db.verify().unwrap().assert_ok();
+    let mut s = db.session();
+    assert_eq!(
+        db.heap().live_records().unwrap().len(),
+        s.count().unwrap(),
+        "index and heap must agree after checkpoints raced writers"
+    );
+    drop(s);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn clean_shutdown_reopens_with_no_orphans() {
     let dir = tmpdir("clean");

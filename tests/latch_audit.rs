@@ -66,12 +66,16 @@ fn same_level_overtaking_is_clean() {
 /// A real concurrent workload (durable Db, writers plus optimistic
 /// readers plus deletes) runs start to finish with the auditor armed and
 /// zero violations — the protocol the production wrappers encode is the
-/// one the whitelist describes.
+/// one the whitelist describes. The pool is kept small so the background
+/// flusher's write-back path runs *during* the audited workload, not just
+/// at shutdown.
 #[test]
 fn concurrent_db_smoke_is_clean() {
     let dir = std::env::temp_dir().join(format!("latch_audit_smoke_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let db = Arc::new(Db::open(DbConfig::durable(&dir)).expect("open db"));
+    let mut cfg = DbConfig::durable(&dir);
+    cfg.pool_frames = 48;
+    let db = Arc::new(Db::open(cfg).expect("open db"));
     let threads = 4;
     let per = 300u64;
     let handles: Vec<_> = (0..threads)
@@ -99,6 +103,11 @@ fn concurrent_db_smoke_is_clean() {
     for k in 0..threads * per {
         let _ = db.get(k).expect("sessionless get");
     }
+    assert!(
+        db.store().stats().snapshot().flusher_pages_written > 0,
+        "the 48-frame pool must have driven the background flusher while \
+         the auditor was armed"
+    );
     assert_eq!(audit::held_count(), 0);
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
