@@ -47,6 +47,7 @@ fn run_one(mix: Mix, delay: Option<Duration>, pool_frames: usize, part: &'static
         pool_frames,
         delta_puts: true,
         background_flusher: false,
+        page_checksums: false,
     });
     let tree: Arc<dyn ConcurrentIndex> = BLinkTree::create(store, TreeConfig::with_k(16)).unwrap();
     let cfg = RunConfig {

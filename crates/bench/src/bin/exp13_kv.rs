@@ -32,7 +32,8 @@ struct Record {
     mix: String,
     /// Which durability knobs were toggled for this row (`-` for
     /// in-memory rows, `default` for the all-on durable path, or the one
-    /// ablated knob: `pipeline-off`, `flusher-off`, `mmap-on`).
+    /// ablated knob: `pipeline-off`, `flusher-off`, `checksums-off`,
+    /// `mmap-on`).
     knobs: &'static str,
     value_len: usize,
     scan_len: u64,
@@ -197,13 +198,20 @@ fn main() {
     drop(db);
 
     let mut durable_ops = std::collections::BTreeMap::new();
-    for &knobs in &["default", "pipeline-off", "flusher-off", "mmap-on"] {
+    for &knobs in &[
+        "default",
+        "pipeline-off",
+        "flusher-off",
+        "checksums-off",
+        "mmap-on",
+    ] {
         let dir = std::env::temp_dir().join(format!("blink-e13-{knobs}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut dcfg = DbConfig::durable_group_commit(&dir, Duration::from_micros(500)).with_k(16);
         dcfg = match knobs {
             "pipeline-off" => dcfg.with_wal_pipeline(false),
             "flusher-off" => dcfg.with_background_flusher(false),
+            "checksums-off" => dcfg.with_page_checksums(false),
             "mmap-on" => dcfg.with_mmap_backend(true),
             _ => dcfg,
         };
@@ -247,6 +255,25 @@ fn main() {
             on >= off * slack,
             "pipelined group commit regressed the durable mix: {on:.0} ops/s \
              with the pipeline vs {off:.0} ops/s without"
+        );
+    }
+    {
+        // Page checksums are stamped into a scratch copy at the backend
+        // write funnel and verified on pool-miss reads; the budget for
+        // that is ≤5% on the durable mix. The trajectory file records the
+        // exact gap; the assertion uses the same noise slack as above so
+        // CI only fails on an order-of-magnitude regression, not jitter.
+        let slack = if quick() { 0.5 } else { 0.7 };
+        let (on, off) = (durable_ops["default"], durable_ops["checksums-off"]);
+        println!(
+            "page checksum cost on the durable mix: {on:.0} ops/s stamped+verified vs \
+             {off:.0} ops/s ablated ({:+.1}%; budget ≤5%)",
+            (off / on - 1.0) * 100.0,
+        );
+        assert!(
+            on >= off * slack,
+            "page checksums regressed the durable mix: {on:.0} ops/s with checksums \
+             vs {off:.0} ops/s without"
         );
     }
     println!();

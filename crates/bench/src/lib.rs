@@ -53,6 +53,7 @@ pub fn fresh_store_io(delay: Duration) -> Arc<PageStore> {
         pool_frames: 0,
         delta_puts: true,
         background_flusher: false,
+        page_checksums: false,
     })
 }
 
@@ -64,6 +65,7 @@ pub fn fresh_store_io_cached(delay: Duration, frames: usize) -> Arc<PageStore> {
         pool_frames: frames,
         delta_puts: true,
         background_flusher: false,
+        page_checksums: false,
     })
 }
 

@@ -149,6 +149,12 @@ const WRAPPER_RULES: &[WrapperRule] = &[
         allowed_fns: &["lock_sessions"],
         use_instead: "Db::lock_sessions (SessionPool)",
     },
+    WrapperRule {
+        file: "health.rs",
+        needles: &[".latched.lock(", ".latched.try_lock("],
+        allowed_fns: &["lock_latched"],
+        use_instead: "StoreHealth::lock_latched (HealthLatch)",
+    },
 ];
 
 /// Files allowed to contain `unsafe` blocks (each still needs `// SAFETY:`).
@@ -526,6 +532,21 @@ mod tests {
         let ok = lint_source(
             "crates/pagestore/src/flusher.rs",
             "fn lock_ctl(&self) {\n    let g = self.ctl.lock();\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn health_latch_requires_its_wrapper() {
+        let v = lint_source(
+            "crates/pagestore/src/health.rs",
+            "fn poison(&self) {\n    let g = self.latched.lock();\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "wrapper-only");
+        let ok = lint_source(
+            "crates/pagestore/src/health.rs",
+            "fn lock_latched(&self) {\n    let g = self.latched.lock();\n}\n",
         );
         assert!(ok.is_empty(), "{ok:?}");
     }

@@ -56,7 +56,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = TreeError::Store(StoreError::Corrupt("bad magic"));
+        let e = TreeError::Store(StoreError::corrupt("bad magic"));
         assert!(e.to_string().contains("bad magic"));
         assert!(std::error::Error::source(&e).is_some());
         let e = TreeError::TooManyRestarts { attempts: 42 };
@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn from_store_error() {
-        let e: TreeError = StoreError::Corrupt("x").into();
-        assert_eq!(e, TreeError::Store(StoreError::Corrupt("x")));
+        let e: TreeError = StoreError::corrupt("x").into();
+        assert_eq!(e, TreeError::Store(StoreError::corrupt("x")));
     }
 }

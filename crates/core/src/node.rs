@@ -29,10 +29,16 @@ use crate::error::{Result, TreeError};
 use crate::key::{Bound, Key};
 use blink_pagestore::{Page, PageId};
 
-/// Magic tag of a node page.
-pub const MAGIC: u16 = 0xB185;
-/// Bytes of fixed header before the pair array.
-pub const HEADER_LEN: usize = 44;
+/// Magic tag of a node page. Bumped from `0xB185` when the header moved
+/// its payload fields off bytes 12..24 — the page store's reserved region
+/// (per-page LSN + CRC32, `blink_pagestore::PAGE_RESERVED_END`), which
+/// backend write sites may stamp on any page image.
+pub const MAGIC: u16 = 0xB18A;
+/// Bytes of fixed header before the pair array. Layout: magic `0..2`,
+/// flags `2`, level `3`, count `4..6`, low tag `6`, high tag `7`, link
+/// `8..12`, store-reserved `12..24`, low payload `24..32`, high payload
+/// `32..40`, merge target `40..44`, p₀ `44..48`.
+pub const HEADER_LEN: usize = 48;
 /// Bytes per pair (key u64 + value u64).
 pub const PAIR_LEN: usize = 16;
 
@@ -387,12 +393,14 @@ impl Node {
         b[3] = self.level;
         b[4..6].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
         b[6] = self.low.tag();
-        b[7..15].copy_from_slice(&self.low.payload().to_le_bytes());
-        b[15] = self.high.tag();
-        b[16..24].copy_from_slice(&self.high.payload().to_le_bytes());
-        b[24..28].copy_from_slice(&PageId::encode_opt(self.link).to_le_bytes());
-        b[28..32].copy_from_slice(&PageId::encode_opt(self.merge_target).to_le_bytes());
-        b[32..36].copy_from_slice(&PageId::encode_opt(self.p0).to_le_bytes());
+        b[7] = self.high.tag();
+        b[8..12].copy_from_slice(&PageId::encode_opt(self.link).to_le_bytes());
+        // 12..24 is the page store's reserved region (LSN + CRC) — left
+        // zero here; backend write sites may stamp into it.
+        b[24..32].copy_from_slice(&self.low.payload().to_le_bytes());
+        b[32..40].copy_from_slice(&self.high.payload().to_le_bytes());
+        b[40..44].copy_from_slice(&PageId::encode_opt(self.merge_target).to_le_bytes());
+        b[44..48].copy_from_slice(&PageId::encode_opt(self.p0).to_le_bytes());
         for (i, &(key, val)) in self.entries.iter().enumerate() {
             let off = HEADER_LEN + i * PAIR_LEN;
             b[off..off + 8].copy_from_slice(&key.to_le_bytes());
@@ -421,13 +429,13 @@ impl Node {
         if count > max_pairs_for_page(b.len()) {
             return Err(TreeError::Corrupt("pair count exceeds page capacity"));
         }
-        let low = Bound::decode(b[6], u64::from_le_bytes(b[7..15].try_into().unwrap()))
+        let low = Bound::decode(b[6], u64::from_le_bytes(b[24..32].try_into().unwrap()))
             .ok_or(TreeError::Corrupt("bad low-bound tag"))?;
-        let high = Bound::decode(b[15], u64::from_le_bytes(b[16..24].try_into().unwrap()))
+        let high = Bound::decode(b[7], u64::from_le_bytes(b[32..40].try_into().unwrap()))
             .ok_or(TreeError::Corrupt("bad high-bound tag"))?;
-        let link = PageId::from_raw(u32::from_le_bytes(b[24..28].try_into().unwrap()));
-        let merge_target = PageId::from_raw(u32::from_le_bytes(b[28..32].try_into().unwrap()));
-        let p0 = PageId::from_raw(u32::from_le_bytes(b[32..36].try_into().unwrap()));
+        let link = PageId::from_raw(u32::from_le_bytes(b[8..12].try_into().unwrap()));
+        let merge_target = PageId::from_raw(u32::from_le_bytes(b[40..44].try_into().unwrap()));
+        let p0 = PageId::from_raw(u32::from_le_bytes(b[44..48].try_into().unwrap()));
         if kind == NodeKind::Internal && p0.is_none() && count > 0 {
             return Err(TreeError::Corrupt("internal node with pairs but no p0"));
         }

@@ -154,7 +154,7 @@ impl BLinkTree {
 
             if node.is_root {
                 // insert-into-unsafe-root.
-                self.split_root(session, pid, node)?;
+                self.split_root(session, pid, node, pair_key)?;
                 return Ok(None);
             }
 
@@ -183,13 +183,65 @@ impl BLinkTree {
     /// insert-into-unsafe-root (Fig. 6): split the root and build a new
     /// root above both halves, holding the old root's lock throughout so
     /// two roots can never be created simultaneously (§3.2).
-    fn split_root(&self, session: &mut Session, pid: PageId, mut node: Node) -> Result<()> {
+    ///
+    /// `inserted` is the pair key this overflow is carrying (the user key
+    /// at a leaf, the propagated separator at an internal level); the
+    /// error path needs it to reconstruct the pre-insert root image.
+    fn split_root(
+        &self,
+        session: &mut Session,
+        pid: PageId,
+        mut node: Node,
+        inserted: Key,
+    ) -> Result<()> {
         debug_assert!(node.is_root);
+        // The publish sequence below is a chain of separately-committed
+        // page writes. An I/O failure after the demotion write reached the
+        // store leaves a tree with *no* root anywhere: the prime block
+        // still says height `h`, no node carries the root bit, and every
+        // later overflow of the top level waits forever (§3.3) for a level
+        // nobody will ever publish. Keep the pre-insert image so the error
+        // path can put the root back.
+        let mut pristine = node.clone();
+        pristine.entries.retain(|&(k, _)| k != inserted);
         node.is_root = false;
+        if let Err(e) = self.split_root_publish(pid, &mut node) {
+            // Roll back: rewrite the old root exactly as it was before
+            // this insert touched it. The lock on `pid` is still held, so
+            // no other split can interleave, and the sibling/new-root
+            // pages the sequence may have published hold no data the
+            // restored root does not — they become orphans that
+            // recovery's garbage collection reclaims on the next reopen.
+            if let Err(restore) = self.write_node(pid, &pristine) {
+                // Even the rollback write failed: the tree may genuinely
+                // be rootless now. Poison the store so every later
+                // operation fails fast and typed instead of spinning its
+                // restart budget; reopen + recovery rebuild the index
+                // from the leaf chain.
+                let cause = match restore {
+                    crate::error::TreeError::Store(s) => s,
+                    other => blink_pagestore::StoreError::Io(format!(
+                        "root split rollback failed: {other}"
+                    )),
+                };
+                self.store.health().poison(cause);
+            }
+            return Err(e);
+        }
+        self.store.unlock(pid, session);
+        TreeCounters::bump(&self.counters.splits);
+        TreeCounters::bump(&self.counters.root_splits);
+        Ok(())
+    }
+
+    /// The fallible page-write sequence of [`split_root`]: sibling,
+    /// demoted left half, new root, prime block — in that order, each an
+    /// independently-committed put.
+    fn split_root_publish(&self, pid: PageId, node: &mut Node) -> Result<()> {
         let q = self.store.alloc()?;
         let right = node.split(q);
         self.write_node(q, &right)?;
-        self.write_node(pid, &node)?; // old root loses its root bit here
+        self.write_node(pid, node)?; // old root loses its root bit here
 
         let r = self.store.alloc()?;
         let mut root = Node::new_internal(node.level + 1);
@@ -208,10 +260,6 @@ impl BLinkTree {
         debug_assert_eq!(prime.root, pid, "root bit held but prime disagrees");
         prime.push_root(r);
         self.write_prime(&prime)?;
-
-        self.store.unlock(pid, session);
-        TreeCounters::bump(&self.counters.splits);
-        TreeCounters::bump(&self.counters.root_splits);
         Ok(())
     }
 

@@ -14,9 +14,12 @@
 use crate::error::{Result, TreeError};
 use blink_pagestore::{Page, PageId};
 
-/// Magic tag of the prime block page.
-pub const MAGIC: u16 = 0xB186;
-const HDR: usize = 12;
+/// Magic tag of the prime block page. Bumped from `0xB186` when the
+/// header grew to clear the page store's reserved region (per-page LSN +
+/// CRC32 at bytes 12..24, `blink_pagestore::PAGE_RESERVED_END`): the
+/// leftmost array now starts at byte 24.
+pub const MAGIC: u16 = 0xB18B;
+const HDR: usize = 24;
 
 /// Levels representable in a prime block of the given page size.
 pub fn max_levels(page_size: usize) -> usize {
@@ -92,6 +95,8 @@ impl PrimeBlock {
         b[0..2].copy_from_slice(&MAGIC.to_le_bytes());
         b[4..8].copy_from_slice(&self.height.to_le_bytes());
         b[8..12].copy_from_slice(&self.root.to_raw().to_le_bytes());
+        // 12..24 is the page store's reserved region (LSN + CRC) — left
+        // zero; the leftmost array starts past it.
         for (i, pid) in self.leftmost.iter().enumerate() {
             let off = HDR + i * 4;
             b[off..off + 4].copy_from_slice(&pid.to_raw().to_le_bytes());
@@ -176,8 +181,8 @@ mod tests {
 
     #[test]
     fn capacity() {
-        assert_eq!(max_levels(256), (256 - 12) / 4);
-        assert!(max_levels(12) == 0);
+        assert_eq!(max_levels(256), (256 - 24) / 4);
+        assert!(max_levels(24) == 0);
     }
 }
 

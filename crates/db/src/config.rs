@@ -75,6 +75,14 @@ pub struct DbConfig {
     /// writes keep latches. On by default; `false` is the all-latched
     /// baseline of the exp14 ablation.
     pub optimistic_reads: bool,
+    /// Store-owned per-page CRC32 checksums (durable stores only): every
+    /// page image written to the page file is stamped in its reserved
+    /// header and verified on every pool-miss read. A torn write or
+    /// bit-rot surfaces as a typed `ChecksumMismatch` at read time
+    /// instead of silent corruption; recovery repairs stamped pages from
+    /// the WAL. On by default; `false` is the overhead-ablation arm
+    /// `exp13` reports as `checksums off`.
+    pub page_checksums: bool,
     /// Record end-to-end per-op latency histograms feeding
     /// [`crate::Db::metrics`]. On by default (two relaxed atomic adds and
     /// two clock reads per op); `false` is the no-metrics baseline
@@ -102,6 +110,7 @@ impl DbConfig {
             background_flusher: true,
             mmap_backend: std::env::var("BLINK_MMAP").is_ok_and(|v| v == "1"),
             optimistic_reads: true,
+            page_checksums: true,
             metrics: true,
         }
     }
@@ -188,6 +197,13 @@ impl DbConfig {
     /// [`DbConfig::mmap_backend`]).
     pub fn with_mmap_backend(mut self, on: bool) -> DbConfig {
         self.mmap_backend = on;
+        self
+    }
+
+    /// Enables or disables per-page image checksums (see
+    /// [`DbConfig::page_checksums`]).
+    pub fn with_page_checksums(mut self, on: bool) -> DbConfig {
+        self.page_checksums = on;
         self
     }
 }

@@ -101,6 +101,9 @@ impl Db {
                     // No backend writes to hide — in-memory frames *are*
                     // the storage.
                     background_flusher: false,
+                    // Nothing crosses a disk boundary, so there is nothing
+                    // for an image checksum to protect.
+                    page_checksums: false,
                 });
                 let heap = Arc::new(
                     RecordHeap::attach_with_config(Arc::clone(&store), Db::heap_config(&cfg))?.0,
@@ -131,6 +134,7 @@ impl Db {
                     wal_pipeline: cfg.wal_pipeline,
                     background_flusher: cfg.background_flusher,
                     mmap_backend: cfg.mmap_backend,
+                    page_checksums: cfg.page_checksums,
                 };
                 if dir.join("meta").exists() {
                     Db::open_durable(dcfg, cfg)

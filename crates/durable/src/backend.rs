@@ -15,7 +15,7 @@
 //! injected crash trips, every call fails, so nothing after the simulated
 //! power loss reaches the file.
 
-use crate::fault::FaultInjector;
+use crate::fault::{FaultInjector, FaultOutcome, FaultSite};
 use crate::wal::io_err;
 use blink_pagestore::mmap::MmapRegion;
 use blink_pagestore::{PageBackend, Result, StoreError};
@@ -42,6 +42,13 @@ impl std::fmt::Debug for FileBackend {
     }
 }
 
+/// Flips the planned bit (mod buffer size) in a successfully read page —
+/// the [`FaultOutcome::FlipBit`] effect shared by both backends.
+fn flip_bit(buf: &mut [u8], bit: u64) {
+    let b = (bit as usize) % (buf.len() * 8);
+    buf[b / 8] ^= 1 << (b % 8);
+}
+
 impl FileBackend {
     /// Opens (or creates) the page file at `path`. Existing length must be
     /// a whole number of pages.
@@ -58,7 +65,7 @@ impl FileBackend {
             .map_err(|e| io_err("stat page file", e))?
             .len();
         if len % page_size as u64 != 0 {
-            return Err(StoreError::Corrupt("page file length not page-aligned"));
+            return Err(StoreError::corrupt("page file length not page-aligned"));
         }
         Ok(FileBackend {
             file,
@@ -98,14 +105,36 @@ impl PageBackend for FileBackend {
     fn read(&self, index: usize, buf: &mut [u8]) -> Result<()> {
         self.fault.check()?;
         debug_assert_eq!(buf.len(), self.page_size);
+        let flip = match self.fault.plan_outcome(FaultSite::PageRead) {
+            FaultOutcome::Proceed => None,
+            FaultOutcome::Fail(e) => return Err(e),
+            FaultOutcome::FlipBit(bit) => Some(bit),
+            FaultOutcome::Torn(_) => unreachable!("torn faults never target reads"),
+        };
         self.file
             .read_exact_at(buf, self.offset(index))
-            .map_err(|e| io_err("read page", e))
+            .map_err(|e| io_err("read page", e))?;
+        if let Some(bit) = flip {
+            flip_bit(buf, bit);
+        }
+        Ok(())
     }
 
     fn write(&self, index: usize, data: &[u8]) -> Result<()> {
         self.fault.check()?;
         debug_assert_eq!(data.len(), self.page_size);
+        match self.fault.plan_outcome(FaultSite::PageWrite) {
+            FaultOutcome::Proceed => {}
+            FaultOutcome::Fail(e) => return Err(e),
+            FaultOutcome::Torn(k) => {
+                // Persist a prefix, then fail: the page image on disk is
+                // now mangled exactly like a power loss mid-pwrite.
+                let k = k.min(data.len());
+                let _ = self.file.write_all_at(&data[..k], self.offset(index));
+                return Err(StoreError::Io("injected torn page write".to_string()));
+            }
+            FaultOutcome::FlipBit(_) => unreachable!("bit flips never target writes"),
+        }
         self.file
             .write_all_at(data, self.offset(index))
             .map_err(|e| io_err("write page", e))
@@ -165,7 +194,7 @@ impl MmapBackend {
             .map_err(|e| io_err("stat page file", e))?
             .len();
         if len % page_size as u64 != 0 {
-            return Err(StoreError::Corrupt("page file length not page-aligned"));
+            return Err(StoreError::corrupt("page file length not page-aligned"));
         }
         let region = MmapRegion::map(&file);
         Ok(MmapBackend {
@@ -208,29 +237,51 @@ impl PageBackend for MmapBackend {
     fn read(&self, index: usize, buf: &mut [u8]) -> Result<()> {
         self.fault.check()?;
         debug_assert_eq!(buf.len(), self.page_size);
+        let flip = match self.fault.plan_outcome(FaultSite::PageRead) {
+            FaultOutcome::Proceed => None,
+            FaultOutcome::Fail(e) => return Err(e),
+            FaultOutcome::FlipBit(bit) => Some(bit),
+            FaultOutcome::Torn(_) => unreachable!("torn faults never target reads"),
+        };
         if index >= self.capacity() {
             return Err(io_err(
                 "read page",
                 std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "page beyond capacity"),
             ));
         }
-        if let Some(region) = &self.region {
+        let read_ok = if let Some(region) = &self.region {
             // In-capacity (checked above) means in-file; in-reservation
             // means the copy cannot fault. Past the reservation fall
             // through to pread.
             let off = index * self.page_size;
-            if region.copy_to(off, buf) {
-                return Ok(());
-            }
+            region.copy_to(off, buf)
+        } else {
+            false
+        };
+        if !read_ok {
+            self.file
+                .read_exact_at(buf, self.offset(index))
+                .map_err(|e| io_err("read page", e))?;
         }
-        self.file
-            .read_exact_at(buf, self.offset(index))
-            .map_err(|e| io_err("read page", e))
+        if let Some(bit) = flip {
+            flip_bit(buf, bit);
+        }
+        Ok(())
     }
 
     fn write(&self, index: usize, data: &[u8]) -> Result<()> {
         self.fault.check()?;
         debug_assert_eq!(data.len(), self.page_size);
+        match self.fault.plan_outcome(FaultSite::PageWrite) {
+            FaultOutcome::Proceed => {}
+            FaultOutcome::Fail(e) => return Err(e),
+            FaultOutcome::Torn(k) => {
+                let k = k.min(data.len());
+                let _ = self.file.write_all_at(&data[..k], self.offset(index));
+                return Err(StoreError::Io("injected torn page write".to_string()));
+            }
+            FaultOutcome::FlipBit(_) => unreachable!("bit flips never target writes"),
+        }
         self.file
             .write_all_at(data, self.offset(index))
             .map_err(|e| io_err("write page", e))

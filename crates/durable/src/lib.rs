@@ -15,7 +15,9 @@
 //! * [`store::DurableStore`] — ties them together in one directory and
 //!   replays the log on open.
 //! * [`fault::FaultInjector`] — deterministic simulated crashes after the
-//!   *n*-th WAL record, for crash-point matrix tests.
+//!   *n*-th WAL record, for crash-point matrix tests — and seeded
+//!   [`fault::FaultPlan`]s that fail, tear or bit-flip the *n*-th I/O at
+//!   a chosen site, for chaos tests.
 //!
 //! ## Crash model
 //!
@@ -60,7 +62,9 @@ pub mod store;
 pub mod wal;
 
 pub use backend::{FileBackend, MmapBackend};
-pub use fault::FaultInjector;
+pub use fault::{
+    xorshift64, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultSite, PlannedFault,
+};
 pub use store::{CheckpointToken, DurableConfig, DurableStore, RecoveryInfo};
 pub use wal::{FsyncPolicy, Wal, WalOp};
 

@@ -34,11 +34,11 @@
 
 use crate::backend::{FileBackend, MmapBackend};
 use crate::crc::crc32;
-use crate::fault::FaultInjector;
+use crate::fault::{FaultInjector, FaultOutcome, FaultSite};
 use crate::wal::{self, io_err, FsyncPolicy, ScanReport, Wal, WalOp};
 use blink_pagestore::{
-    page_lsn, set_page_lsn, Journal, PageBackend, PageStore, Result, StoreConfig, StoreError,
-    StoreStats,
+    page_lsn, set_page_lsn, stamp_page_crc, Journal, PageBackend, PageStore, Result, StoreConfig,
+    StoreError, StoreStats,
 };
 use std::fs::{File, OpenOptions};
 use std::io::Read;
@@ -95,6 +95,13 @@ pub struct DurableConfig {
     /// Defaults from the `BLINK_MMAP=1` environment variable so the whole
     /// test suite can run against the mapped backend.
     pub mmap_backend: bool,
+    /// Store-owned per-page CRC32 over `pages.db` images: stamped into
+    /// the reserved header on every backend write, verified on every
+    /// pool-miss read. A mismatch (torn write, bit rot) surfaces as
+    /// `StoreError::ChecksumMismatch` instead of silently corrupt data;
+    /// recovery repairs stamped pages from the WAL base+delta chain. On
+    /// by default; `false` is the exp13 overhead-ablation arm.
+    pub page_checksums: bool,
 }
 
 impl DurableConfig {
@@ -112,6 +119,7 @@ impl DurableConfig {
             wal_pipeline: true,
             background_flusher: true,
             mmap_backend: std::env::var("BLINK_MMAP").is_ok_and(|v| v == "1"),
+            page_checksums: true,
         }
     }
 
@@ -131,6 +139,7 @@ impl DurableConfig {
             pool_frames: self.pool_frames,
             delta_puts: self.delta_puts,
             background_flusher: self.background_flusher,
+            page_checksums: self.page_checksums,
         }
     }
 
@@ -199,15 +208,15 @@ fn encode_meta(m: &Meta) -> Vec<u8> {
 
 fn decode_meta(bytes: &[u8]) -> Result<Meta> {
     if bytes.len() < META_HEADER + 4 {
-        return Err(StoreError::Corrupt("meta file too short"));
+        return Err(StoreError::corrupt("meta file too short"));
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
     let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
     if crc32(body) != crc {
-        return Err(StoreError::Corrupt("meta checksum mismatch"));
+        return Err(StoreError::corrupt("meta checksum mismatch"));
     }
     if body[0..4] != META_MAGIC.to_le_bytes() || body[4..8] != META_VERSION.to_le_bytes() {
-        return Err(StoreError::Corrupt("bad meta magic/version"));
+        return Err(StoreError::corrupt("bad meta magic/version"));
     }
     let page_size = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
     let wal_start_seq = u64::from_le_bytes(body[16..24].try_into().unwrap());
@@ -215,7 +224,7 @@ fn decode_meta(bytes: &[u8]) -> Result<Meta> {
     let cap = u64::from_le_bytes(body[32..40].try_into().unwrap()) as usize;
     let bitmap = &body[META_HEADER..];
     if bitmap.len() != cap.div_ceil(8) {
-        return Err(StoreError::Corrupt("meta bitmap length mismatch"));
+        return Err(StoreError::corrupt("meta bitmap length mismatch"));
     }
     let allocated = (0..cap)
         .map(|i| bitmap[i / 8] & (1 << (i % 8)) != 0)
@@ -228,9 +237,31 @@ fn decode_meta(bytes: &[u8]) -> Result<Meta> {
     })
 }
 
-fn write_meta_atomic(dir: &Path, path: &Path, m: &Meta) -> Result<()> {
+fn write_meta_atomic(
+    dir: &Path,
+    path: &Path,
+    m: &Meta,
+    fault: Option<&FaultInjector>,
+) -> Result<()> {
+    let bytes = encode_meta(m);
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, encode_meta(m)).map_err(|e| io_err("write meta.tmp", e))?;
+    // The injector can fail or tear the meta write mid-checkpoint. Both
+    // are safe by construction: the tear lands in `meta.tmp` (the rename
+    // never runs), so recovery still reads the previous checkpoint's
+    // intact `meta` with all its segments present.
+    if let Some(f) = fault {
+        match f.plan_outcome(FaultSite::MetaWrite) {
+            FaultOutcome::Proceed => {}
+            FaultOutcome::Fail(e) => return Err(e),
+            FaultOutcome::Torn(k) => {
+                let k = k.min(bytes.len());
+                let _ = std::fs::write(&tmp, &bytes[..k]);
+                return Err(StoreError::Io("injected torn meta write".to_string()));
+            }
+            FaultOutcome::FlipBit(_) => unreachable!("bit flips never target writes"),
+        }
+    }
+    std::fs::write(&tmp, bytes).map_err(|e| io_err("write meta.tmp", e))?;
     OpenOptions::new()
         .read(true)
         .open(&tmp)
@@ -268,6 +299,7 @@ impl DurableStore {
                 wal_start_lsn: 1,
                 allocated: Vec::new(),
             },
+            None,
         )?;
         DurableStore::open(cfg)
     }
@@ -329,26 +361,40 @@ impl DurableStore {
                     allocated.resize(idx + 1, false);
                     backend.grow(idx + 1)?;
                 }
+                // Replayed images must reach `pages.db` exactly as the
+                // live write path would have written them: a logged image
+                // carries whatever (stale) CRC the frame held, so re-stamp
+                // before writing or the repaired page would fail its next
+                // verified read. Alloc's zero image is left unstamped to
+                // match the live alloc path (an all-zero page reads back
+                // as unstamped).
+                let stamp = |data: &mut [u8]| {
+                    if cfg.page_checksums {
+                        stamp_page_crc(data);
+                    }
+                };
                 match op {
                     WalOp::Alloc(_) => {
                         allocated[idx] = true;
                         backend.write(idx, &zero)?;
                     }
                     WalOp::Free(_) => allocated[idx] = false,
-                    WalOp::Put(_, data) => {
+                    WalOp::Put(_, mut data) => {
                         if data.len() != cfg.page_size {
-                            return Err(StoreError::Corrupt("wal put with wrong page size"));
+                            return Err(StoreError::corrupt("wal put with wrong page size"));
                         }
+                        stamp(&mut data);
                         backend.write(idx, &data)?;
                     }
                     WalOp::PutBase(_, mut data) => {
                         if data.len() != cfg.page_size {
-                            return Err(StoreError::Corrupt("wal put with wrong page size"));
+                            return Err(StoreError::corrupt("wal put with wrong page size"));
                         }
                         // The live store stamped this LSN into the frame
                         // right after appending; mirror it so the replayed
                         // page file carries the same image.
                         set_page_lsn(&mut data, lsn);
+                        stamp(&mut data);
                         backend.write(idx, &data)?;
                     }
                     WalOp::PutDelta(_, _, ranges) => {
@@ -358,13 +404,15 @@ impl DurableStore {
                             for (off, bytes) in &ranges {
                                 let off = *off as usize;
                                 if off + bytes.len() > cfg.page_size {
-                                    return Err(StoreError::Corrupt(
+                                    return Err(StoreError::corrupt_at(
                                         "wal delta range past page end",
+                                        pid,
                                     ));
                                 }
                                 buf[off..off + bytes.len()].copy_from_slice(bytes);
                             }
                             set_page_lsn(&mut buf, lsn);
+                            stamp(&mut buf);
                             backend.write(idx, &buf)?;
                         } else {
                             StoreStats::bump(&stats.recovery_deltas_skipped);
@@ -400,6 +448,9 @@ impl DurableStore {
             stats,
             &allocated,
         )?;
+        // One health latch for the whole store: a WAL fsync failure
+        // poisons commits, syncs and checkpoints alike.
+        wal.bind_health(store.health());
         let recovery = RecoveryInfo {
             replayed: report.replayed,
             torn_tail: report.torn,
@@ -538,6 +589,7 @@ impl DurableStore {
                 wal_start_lsn: token.begin_lsn,
                 allocated,
             },
+            Some(&self.fault),
         )?;
         for old in wal::list_segments(&self.cfg.dir)? {
             if old < token.begin_seq {
@@ -795,6 +847,9 @@ mod tests {
             f.read_exact_at(&mut page, 0).unwrap();
             page[60..64].copy_from_slice(&[0xAB; 4]);
             blink_pagestore::set_page_lsn(&mut page, 3);
+            // The live write-back would have stamped the CRC; mirror it
+            // so the verified read path accepts this hand-built state.
+            blink_pagestore::stamp_page_crc(&mut page);
             f.write_all_at(&page, 0).unwrap();
         }
         let ds = DurableStore::open(cfg(&dir)).unwrap();

@@ -55,16 +55,16 @@
 //!   record checksums).
 
 use crate::crc::Crc32;
-use crate::fault::FaultInjector;
+use crate::fault::{FaultInjector, FaultSite};
 use blink_pagestore::audit::{self, Audited, LockClass};
-use blink_pagestore::{DeltaRange, Journal, PageId, Result, StoreError, StoreStats};
+use blink_pagestore::{DeltaRange, Journal, PageId, Result, StoreError, StoreHealth, StoreStats};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 pub(crate) const SEG_MAGIC: u32 = 0x4257_414C; // "BWAL"
@@ -368,6 +368,13 @@ pub struct Wal {
     /// fsyncs immediately (PostgreSQL-style self-tuning: on an idle system
     /// there is nobody to batch with, so waiting only adds latency).
     committers: std::sync::atomic::AtomicU64,
+    /// The store's health latch, bound by the durable store after the
+    /// page store is constructed (they share one instance). A failed WAL
+    /// fsync poisons it — sticky: every later append or commit fails with
+    /// [`StoreError::Poisoned`] until a clean reopen re-establishes the
+    /// durable prefix. Unbound (standalone `Wal` in tests), failures
+    /// surface but nothing latches.
+    health: OnceLock<Arc<StoreHealth>>,
 }
 
 impl Wal {
@@ -520,7 +527,36 @@ impl Wal {
             flushed: Mutex::new(next_lsn.saturating_sub(1)),
             flush_cv: Condvar::new(),
             committers: std::sync::atomic::AtomicU64::new(0),
+            health: OnceLock::new(),
         })
+    }
+
+    /// Binds the store's health latch so WAL fsync failures poison the
+    /// whole store, not just the one commit. Idempotent; the first binding
+    /// wins.
+    pub fn bind_health(&self, health: Arc<StoreHealth>) {
+        let _ = self.health.set(health);
+    }
+
+    /// Fails with [`StoreError::Poisoned`] once a WAL fsync has failed
+    /// (no-op when no health latch is bound).
+    fn check_poisoned(&self) -> Result<()> {
+        match self.health.get() {
+            Some(h) => h.check_poisoned(),
+            None => Ok(()),
+        }
+    }
+
+    /// Latches `cause` as the store's poison (sticky — an fsync that
+    /// failed may or may not have persisted anything, so no later fsync
+    /// can be trusted to repair it) and returns the error to surface:
+    /// `Poisoned` with the cause latched for attribution, or the bare
+    /// cause when no health latch is bound.
+    fn poison(&self, cause: StoreError) -> StoreError {
+        match self.health.get() {
+            Some(h) => h.poison(cause),
+            None => cause,
+        }
     }
 
     /// Enables (or disables) per-thread staging. Call right after
@@ -590,6 +626,10 @@ impl Wal {
     /// staged, in staging mode) but not necessarily durable — pair with
     /// [`Wal::commit`].
     fn append_record(&self, op: u8, pid: PageId, data: &[u8]) -> Result<u64> {
+        // A poisoned store accepts no new records: the durable prefix
+        // ends at the failed fsync, and anything appended after it could
+        // never be honestly acknowledged.
+        self.check_poisoned()?;
         if let Some(t) = &self.tuner {
             t.note_arrival();
         }
@@ -603,6 +643,9 @@ impl Wal {
     fn append(&self, op: u8, pid: PageId, data: &[u8]) -> Result<u64> {
         let mut inner = self.lock_inner();
         self.fault.on_wal_record()?;
+        self.fault
+            .plan_outcome(FaultSite::WalAppend)
+            .pass_or_fail()?;
         let lsn = inner.next_lsn;
         let buf = encode_record(lsn, op, pid, data);
         if inner.seg_len + buf.len() as u64 > self.segment_bytes && inner.seg_len > SEG_HEADER {
@@ -626,6 +669,9 @@ impl Wal {
         let slot = &st.slots[staging_slot_index(st.slots.len())];
         let mut entries = self.lock_slot(slot, true);
         self.fault.on_wal_record()?;
+        self.fault
+            .plan_outcome(FaultSite::WalAppend)
+            .pass_or_fail()?;
         let lsn = st.next_lsn.fetch_add(1, Ordering::AcqRel);
         let buf = encode_record(lsn, op, pid, data);
         let len = buf.len() as u64;
@@ -679,7 +725,7 @@ impl Wal {
         batch.sort_unstable_by_key(|&(lsn, _)| lsn);
         for (k, &(lsn, _)) in batch.iter().enumerate() {
             if lsn != inner.next_lsn + k as u64 {
-                return Err(StoreError::Corrupt("staged WAL batch has an LSN gap"));
+                return Err(StoreError::corrupt("staged WAL batch has an LSN gap"));
             }
         }
         let mut pending: Vec<u8> = Vec::new();
@@ -754,11 +800,14 @@ impl Wal {
     /// Closes the current segment (fsyncing it) and starts the next one.
     fn rotate(&self, inner: &mut WalInner) -> Result<()> {
         self.fault.check()?;
+        if let Err(e) = self.fault.plan_outcome(FaultSite::WalFsync).pass_or_fail() {
+            return Err(self.poison(e));
+        }
         let t0 = Instant::now();
         inner
             .file
             .sync_data()
-            .map_err(|e| io_err("sync before rotate", e))?;
+            .map_err(|e| self.poison(io_err("sync before rotate", e)))?;
         self.stats.record_fsync(t0.elapsed().as_nanos() as u64);
         let seq = inner.seg_seq + 1;
         let path = segment_path(&self.dir, seq);
@@ -975,9 +1024,13 @@ impl Wal {
                     .map_err(|e| io_err("clone wal segment fd", e))?;
             }
             self.fault.check()?;
+            if let Err(e) = self.fault.plan_outcome(FaultSite::WalFsync).pass_or_fail() {
+                return Err(self.poison(e));
+            }
             let t0 = Instant::now();
             self.fault.fsync_delay();
-            file.sync_data().map_err(|e| io_err("wal fsync", e))?;
+            file.sync_data()
+                .map_err(|e| self.poison(io_err("wal fsync", e)))?;
             let ns = t0.elapsed().as_nanos() as u64;
             self.stats.record_fsync(ns);
             if let Some(t) = &self.tuner {
@@ -1044,10 +1097,22 @@ impl Wal {
         if *flushed >= lsn {
             return Ok(());
         }
+        // Once an fsync has failed, no later fsync is trusted to cover
+        // the gap (the dirty pages may be gone). This check also catches
+        // the pipelined path's failed-batch re-drive: every committer of
+        // a failed batch lands here and reports `Poisoned` instead of
+        // silently retrying the sync.
+        self.check_poisoned()?;
         self.fault.check()?;
+        if let Err(e) = self.fault.plan_outcome(FaultSite::WalFsync).pass_or_fail() {
+            return Err(self.poison(e));
+        }
         let t0 = Instant::now();
         self.fault.fsync_delay();
-        inner.file.sync_data().map_err(|e| io_err("wal fsync", e))?;
+        inner
+            .file
+            .sync_data()
+            .map_err(|e| self.poison(io_err("wal fsync", e)))?;
         let ns = t0.elapsed().as_nanos() as u64;
         self.stats.record_fsync(ns);
         if let Some(t) = &self.tuner {
@@ -1262,7 +1327,7 @@ pub fn scan(
             }
             let op = payload[0];
             let pid = PageId::from_raw(u32::from_le_bytes(payload[1..5].try_into().unwrap()))
-                .ok_or(StoreError::Corrupt("wal record with nil page id"))?;
+                .ok_or(StoreError::corrupt("wal record with nil page id"))?;
             let wal_op = match op {
                 OP_ALLOC if len == 5 => WalOp::Alloc(pid),
                 OP_FREE if len == 5 => WalOp::Free(pid),

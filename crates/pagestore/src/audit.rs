@@ -89,16 +89,29 @@ pub enum LockClass {
     /// flag). A pure leaf: foreground throttling and flusher drains take
     /// it with nothing else held.
     FlusherQueue = 14,
+    /// The store-health error latch ([`crate::health::StoreHealth`]): the
+    /// mutex holding the first poison/flusher error. A pure leaf — the
+    /// lock-free poisoned/flagged fast path means it is only taken to
+    /// record or consume the latched error, never with anything held.
+    HealthLatch = 15,
 }
 
 #[cfg_attr(not(feature = "latch-audit"), allow(dead_code))]
-const NCLASSES: usize = 15;
+const NCLASSES: usize = 16;
 
 /// The protocol whitelist: may a thread holding `from` acquire `to`?
 /// Same-class pairs are governed separately (see `reentrant`); this table
 /// is only consulted for cross-class nesting.
 pub const fn edge_allowed(from: LockClass, to: LockClass) -> bool {
     use LockClass::*;
+    // The health latch is the universal leaf: poisoning fires from the
+    // deepest I/O sites (a failed fsync under the append mutex and the
+    // commit window, a flusher write-back, a root-split rollback), so
+    // every class may acquire it — and it takes nothing while held (the
+    // arm below keeps its own row all-false).
+    if matches!(to, HealthLatch) {
+        return true;
+    }
     match from {
         // Paper locks and baseline page locks are outermost: everything in
         // the storage stack may be acquired under them, but never a heap
@@ -142,7 +155,7 @@ pub const fn edge_allowed(from: LockClass, to: LockClass) -> bool {
         // forbidden: the pipeline leader reads the batch cell out of the
         // control mutex, drops it, and only then touches the cell's gate.
         WalSlot | CommitWindow | WalBatch | SlotsMap | FreeList | PoolShard | HeapRecycle
-        | SessionPool | FlusherQueue => false,
+        | SessionPool | FlusherQueue | HealthLatch => false,
     }
 }
 
@@ -298,6 +311,7 @@ mod imp {
             "SessionPool",
             "WalBatch",
             "FlusherQueue",
+            "HealthLatch",
         ][i]
     }
 
@@ -801,6 +815,7 @@ mod tests {
             LockClass::SessionPool,
             LockClass::WalBatch,
             LockClass::FlusherQueue,
+            LockClass::HealthLatch,
         ];
         // Kahn's algorithm over the cross-class whitelist.
         let mut indeg = [0usize; N];

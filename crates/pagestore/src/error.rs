@@ -11,8 +11,25 @@ pub enum StoreError {
     /// The page was freed (and possibly reallocated since). Tree code treats
     /// this as a signal to restart the current traversal.
     PageFreed(PageId),
-    /// A page or record failed to decode.
-    Corrupt(&'static str),
+    /// A page or record failed to decode. `page` attributes the damage to
+    /// a specific page when the failing site knows it (checksum and chaos
+    /// tooling rely on this to name the offender); build with
+    /// [`StoreError::corrupt`] / [`StoreError::corrupt_at`].
+    Corrupt {
+        what: &'static str,
+        page: Option<PageId>,
+    },
+    /// A page image read back from a durable backend failed its per-page
+    /// CRC32 ([`crate::page::verify_page_crc`]): a torn write or flipped
+    /// bit on stable storage. Recovery repairs such pages from the WAL
+    /// base+delta chain; during operation the read fails typed.
+    ChecksumMismatch { page: PageId },
+    /// The store is poisoned: a WAL fsync failed, so durability of every
+    /// acknowledged-but-unsynced commit is unknown (the kernel may have
+    /// dropped the dirty pages — fsyncgate). All further commits, syncs
+    /// and checkpoints are rejected until a clean reopen replays the log
+    /// and re-establishes a trusted durable prefix.
+    Poisoned,
     /// The record id does not name a live record.
     RecordMissing(u64),
     /// A record is too large to fit in a single heap page.
@@ -32,7 +49,18 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::OutOfBounds(p) => write!(f, "page {p} is out of bounds"),
             StoreError::PageFreed(p) => write!(f, "page {p} has been freed"),
-            StoreError::Corrupt(what) => write!(f, "corrupt data: {what}"),
+            StoreError::Corrupt { what, page: None } => write!(f, "corrupt data: {what}"),
+            StoreError::Corrupt {
+                what,
+                page: Some(p),
+            } => write!(f, "corrupt data on page {p}: {what}"),
+            StoreError::ChecksumMismatch { page } => {
+                write!(f, "page {page} failed its checksum (torn write or bit rot)")
+            }
+            StoreError::Poisoned => write!(
+                f,
+                "store is poisoned by an earlier wal fsync failure; reopen to recover"
+            ),
             StoreError::RecordMissing(r) => write!(f, "record {r:#x} is missing"),
             StoreError::RecordTooLarge { len, max } => {
                 write!(
@@ -45,6 +73,22 @@ impl fmt::Display for StoreError {
             }
             StoreError::Config(what) => write!(f, "invalid configuration: {what}"),
             StoreError::Io(what) => write!(f, "i/o error: {what}"),
+        }
+    }
+}
+
+impl StoreError {
+    /// Corruption not attributable to a specific page (e.g. a file-level
+    /// invariant such as an unaligned page-file length).
+    pub fn corrupt(what: &'static str) -> StoreError {
+        StoreError::Corrupt { what, page: None }
+    }
+
+    /// Corruption pinned to a specific page.
+    pub fn corrupt_at(what: &'static str, page: PageId) -> StoreError {
+        StoreError::Corrupt {
+            what,
+            page: Some(page),
         }
     }
 }
@@ -68,8 +112,17 @@ mod tests {
         };
         assert!(e.to_string().contains("9000"));
         assert!(e.to_string().contains("4000"));
-        let e = StoreError::Corrupt("bad magic");
+        let e = StoreError::corrupt("bad magic");
         assert!(e.to_string().contains("bad magic"));
+        let e = StoreError::corrupt_at("bad magic", PageId::from_raw(9).unwrap());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(e.to_string().contains("P9"));
+        let e = StoreError::ChecksumMismatch {
+            page: PageId::from_raw(3).unwrap(),
+        };
+        assert!(e.to_string().contains("P3"));
+        assert!(e.to_string().contains("checksum"));
+        assert!(StoreError::Poisoned.to_string().contains("poisoned"));
     }
 
     #[test]

@@ -46,7 +46,10 @@
 //!                       iff the record's LSN is newer. Coexists with
 //!                       magic/generation: those identify the page, the
 //!                       LSN orders its WAL records.
-//! 20..   record data, growing upward
+//! 20..24 crc      u32   per-page CRC32, stamped by the *store* at backend
+//!                       write sites and verified on pool-miss reads. The
+//!                       heap never touches it.
+//! 24..   record data, growing upward
 //! ...    slot directory growing downward from the page end;
 //!        slot i occupies the 8 bytes at page_size - 8*(i+1):
 //!        off u16, cap u16, len u16, gen u16
@@ -105,14 +108,15 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-const HDR: usize = 20;
+const HDR: usize = 24;
 const SLOT: usize = 8;
 const FREED: u16 = 0xFFFF;
 
-// The store's per-page LSN field must sit inside the heap header, right
-// after the state word (see the layout above and `crate::page`).
+// The store-reserved region (per-page LSN + CRC) must sit inside the heap
+// header, right after the state word (see the layout above and
+// `crate::page`).
 const _: () = assert!(crate::page::PAGE_LSN_OFFSET == 12);
-const _: () = assert!(crate::page::PAGE_LSN_OFFSET + crate::page::PAGE_LSN_LEN == HDR);
+const _: () = assert!(crate::page::PAGE_RESERVED_END == HDR);
 
 /// Allocator states stored in header bytes 10..12.
 const STATE_DETACHED: u16 = 0;
@@ -132,8 +136,9 @@ const ADOPT_SCAN: usize = 8;
 /// HDR 12 → 20): record data moved, so pages written under the old layout
 /// must be *rejected* (their leaves then read as dangling record ids —
 /// `Db::open` hard-errors) rather than silently reinterpreted with the
-/// first record's bytes overlapping the new LSN field.
-pub const HEAP_MAGIC: u16 = 0xB188;
+/// first record's bytes overlapping the new LSN field. Bumped again from
+/// `0xB188` when the header grew the store's per-page CRC32 (HDR 20 → 24).
+pub const HEAP_MAGIC: u16 = 0xB189;
 
 /// Configuration for a [`RecordHeap`].
 #[derive(Debug, Clone)]
@@ -606,8 +611,9 @@ impl RecordHeap {
         self.open_gauge.fetch_add(1, Ordering::Relaxed);
         match self.place(pid, data, false)? {
             Placed::Done(rid) => Ok(rid),
-            Placed::Full | Placed::Stale => Err(StoreError::Corrupt(
+            Placed::Full | Placed::Stale => Err(StoreError::corrupt_at(
                 "fresh heap page rejected a size-checked record",
+                pid,
             )),
         }
     }
@@ -724,7 +730,10 @@ impl RecordHeap {
         let state = {
             let b = w.bytes();
             if !is_heap_page(b) {
-                return Err(StoreError::Corrupt("open heap page lost its header"));
+                return Err(StoreError::corrupt_at(
+                    "open heap page lost its header",
+                    pid,
+                ));
             }
             if read_u16(b, 0) == 0 {
                 drop(w); // rollback untouched; the page itself goes away
@@ -769,7 +778,10 @@ impl RecordHeap {
         let cap = read_u16(b, so + 2) as usize;
         let len = len as usize;
         if off + cap > b.len() || len > cap {
-            return Err(StoreError::Corrupt("record extends past page end"));
+            return Err(StoreError::corrupt_at(
+                "record extends past page end",
+                rid.page(),
+            ));
         }
         Ok((off, len, cap))
     }

@@ -39,8 +39,10 @@
 pub mod audit;
 pub mod backend;
 pub mod clock;
+pub mod crc;
 pub mod error;
 pub(crate) mod flusher;
+pub mod health;
 pub mod heap;
 pub mod hist;
 pub mod journal;
@@ -56,10 +58,14 @@ pub mod store;
 pub use backend::{MemBackend, PageBackend};
 pub use clock::LogicalClock;
 pub use error::{Result, StoreError};
+pub use health::StoreHealth;
 pub use heap::{is_heap_page, HeapConfig, HeapInventory, RecordHeap, RecordId, HEAP_MAGIC};
 pub use hist::{fmt_ns, HistSnapshot, WaitHist, HIST_BUCKETS};
 pub use journal::{DeltaRange, Journal};
-pub use page::{page_lsn, set_page_lsn, Page, PageId, PAGE_LSN_LEN, PAGE_LSN_OFFSET};
+pub use page::{
+    page_lsn, set_page_lsn, stamp_page_crc, verify_page_crc, Page, PageId, PAGE_CRC_LEN,
+    PAGE_CRC_OFFSET, PAGE_LSN_LEN, PAGE_LSN_OFFSET, PAGE_RESERVED_END,
+};
 pub use reclaim::DeferredFreeList;
 pub use session::{Session, SessionRegistry, SessionStats};
 pub use stats::{StatsSnapshot, StoreStats};

@@ -14,12 +14,68 @@ use std::num::NonZeroU32;
 /// delta record to a page iff `record.lsn > page_lsn(page)` — which is
 /// what makes delta replay idempotent against write-back races. Heap pages
 /// ([`crate::heap`]) reserve the field in their header, right after the
-/// magic/generation words. Pages written only through whole-page rewrites
-/// (tree nodes, prime blocks) never carry deltas and never reserve it.
+/// magic/generation words.
 pub const PAGE_LSN_OFFSET: usize = 12;
 
 /// Width of the per-page LSN field ([`PAGE_LSN_OFFSET`]).
 pub const PAGE_LSN_LEN: usize = 8;
+
+/// Byte offset of the **per-page CRC32** field, right after the LSN.
+///
+/// The checksum is *store-owned*: page layouts never compute or read it.
+/// It is stamped over the whole image (with this field zeroed) at every
+/// backend write site and verified on every backend read, so a torn
+/// page-file write or a flipped bit on a cold page surfaces as a typed
+/// [`crate::StoreError::ChecksumMismatch`] instead of silently decoding
+/// garbage.
+pub const PAGE_CRC_OFFSET: usize = PAGE_LSN_OFFSET + PAGE_LSN_LEN;
+
+/// Width of the per-page CRC32 field ([`PAGE_CRC_OFFSET`]).
+pub const PAGE_CRC_LEN: usize = 4;
+
+/// End of the store-reserved page region. Every page layout (tree node,
+/// prime block, heap page) keeps bytes
+/// `PAGE_LSN_OFFSET..PAGE_RESERVED_END` zero in its encoder and never
+/// interprets them; the store stamps the LSN and CRC there.
+pub const PAGE_RESERVED_END: usize = PAGE_CRC_OFFSET + PAGE_CRC_LEN;
+
+/// A stored checksum of `0` means "never stamped" — the natural state of a
+/// freshly grown (all-zero) backend page that was never written back.
+/// Verification accepts it; a computed CRC that happens to be 0 is remapped
+/// to this sentinel so a stamped page never reads as unstamped.
+const CRC_UNSTAMPED: u32 = 0;
+const CRC_ZERO_SENTINEL: u32 = 0xFFFF_FFFF;
+
+fn page_crc(bytes: &[u8]) -> u32 {
+    let mut crc = crate::crc::Crc32::new();
+    crc.update(&bytes[..PAGE_CRC_OFFSET]);
+    crc.update(&[0u8; PAGE_CRC_LEN]);
+    crc.update(&bytes[PAGE_RESERVED_END..]);
+    match crc.finish() {
+        CRC_UNSTAMPED => CRC_ZERO_SENTINEL,
+        c => c,
+    }
+}
+
+/// Stamps the per-page CRC32 into the reserved field (see
+/// [`PAGE_CRC_OFFSET`]). Called at backend write sites, on a scratch copy
+/// of the frame bytes — frames themselves never carry a live checksum.
+pub fn stamp_page_crc(bytes: &mut [u8]) {
+    let crc = page_crc(bytes);
+    bytes[PAGE_CRC_OFFSET..PAGE_RESERVED_END].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies a page image read back from a backend: true when the stored
+/// checksum matches the contents, or when the page was never stamped
+/// (stored CRC of 0 — e.g. a grown-but-never-written page of zeroes).
+pub fn verify_page_crc(bytes: &[u8]) -> bool {
+    let stored = u32::from_le_bytes(
+        bytes[PAGE_CRC_OFFSET..PAGE_RESERVED_END]
+            .try_into()
+            .expect("page shorter than its CRC field"),
+    );
+    stored == CRC_UNSTAMPED || stored == page_crc(bytes)
+}
 
 /// Reads the per-page LSN of a page image (see [`PAGE_LSN_OFFSET`]).
 pub fn page_lsn(bytes: &[u8]) -> u64 {
@@ -203,6 +259,43 @@ mod tests {
         p.bytes_mut()[3] = 0xAB;
         assert_eq!(p.bytes()[3], 0xAB);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn crc_stamp_verify_roundtrip_and_detection() {
+        let mut p = vec![0u8; 64];
+        p[0] = 0xB1;
+        p[40] = 0x07;
+        assert!(
+            verify_page_crc(&p),
+            "unstamped (zero) CRC field must be accepted"
+        );
+        stamp_page_crc(&mut p);
+        assert!(verify_page_crc(&p));
+        // Every single-bit flip outside the CRC field is detected.
+        for byte in (0..64).filter(|b| !(PAGE_CRC_OFFSET..PAGE_RESERVED_END).contains(b)) {
+            p[byte] ^= 1;
+            assert!(!verify_page_crc(&p), "flip at byte {byte} undetected");
+            p[byte] ^= 1;
+        }
+        // Stamping is idempotent and LSN changes alter the checksum.
+        let before = p.clone();
+        stamp_page_crc(&mut p);
+        assert_eq!(p, before);
+        set_page_lsn(&mut p, 99);
+        assert!(!verify_page_crc(&p), "the LSN field is covered");
+        stamp_page_crc(&mut p);
+        assert!(verify_page_crc(&p));
+    }
+
+    #[test]
+    fn all_zero_page_verifies_and_stamps_nonzero() {
+        let mut p = vec![0u8; 32];
+        assert!(verify_page_crc(&p), "fresh zero page is checksum-clean");
+        stamp_page_crc(&mut p);
+        let stored = u32::from_le_bytes(p[PAGE_CRC_OFFSET..PAGE_RESERVED_END].try_into().unwrap());
+        assert_ne!(stored, 0, "a stamped page never reads as unstamped");
+        assert!(verify_page_crc(&p));
     }
 
     #[test]

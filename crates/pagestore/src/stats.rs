@@ -251,6 +251,19 @@ store_stats! {
         /// Total nanoseconds foreground writers spent throttled waiting
         /// for the flusher to drain below the high-dirty watermark.
         flusher_backpressure_ns,
+        /// Backend read/write attempts that failed transiently and then
+        /// succeeded within the bounded retry loop.
+        io_retries,
+        /// Backend read/write operations that exhausted the retry budget
+        /// and surfaced the I/O error to the caller.
+        io_giveups,
+        /// Backend write-back failures inside the background flusher —
+        /// each one also latches the store error so the next foreground
+        /// operation surfaces it (never silently swallowed).
+        flusher_errors,
+        /// Backend page reads whose stored CRC did not match the image
+        /// (torn write or bit rot), surfaced as `ChecksumMismatch`.
+        checksum_failures,
     }
     hists {
         /// Individual paper-lock waits (contended acquisitions only).
@@ -277,6 +290,10 @@ store_stats! {
         /// throttled at the high-dirty watermark until the flusher
         /// drained; uncontended puts record nothing).
         flusher_backpressure_hist,
+        /// Total backoff each retried backend operation slept before
+        /// succeeding or giving up (one sample per operation that
+        /// retried at all).
+        io_retry_backoff_hist,
     }
 }
 
@@ -355,6 +372,18 @@ impl StoreStats {
     pub fn record_flusher_backpressure(&self, ns: u64) {
         StoreStats::add(&self.flusher_backpressure_ns, ns);
         self.flusher_backpressure_hist.record(ns);
+    }
+
+    /// Records one backend operation that retried transient I/O errors:
+    /// `gave_up` decides which counter the outcome lands in, `backoff_ns`
+    /// is the total sleep across its attempts.
+    pub fn record_io_retry(&self, backoff_ns: u64, gave_up: bool) {
+        if gave_up {
+            StoreStats::bump(&self.io_giveups);
+        } else {
+            StoreStats::bump(&self.io_retries);
+        }
+        self.io_retry_backoff_hist.record(backoff_ns);
     }
 }
 
@@ -449,6 +478,7 @@ mod tests {
         s.record_wal_commit_wait(70);
         s.record_fsync(80);
         s.record_flusher_backpressure(90);
+        s.record_io_retry(100, false);
         let snap = s.snapshot();
         for &name in StatsSnapshot::HIST_NAMES {
             let h = snap
@@ -456,7 +486,7 @@ mod tests {
                 .unwrap_or_else(|| panic!("hist missing {name}"));
             assert_eq!(h.count(), 1, "hist {name} must have the one sample");
         }
-        assert_eq!(StatsSnapshot::HIST_NAMES.len(), 9);
+        assert_eq!(StatsSnapshot::HIST_NAMES.len(), 10);
         // Each record_* helper also maintained its sum/contended counters.
         assert_eq!(snap.lock_contended, 1);
         assert_eq!(snap.pool_wait_ns, 30);
@@ -467,6 +497,8 @@ mod tests {
         assert_eq!(snap.wal_fsyncs, 1);
         assert_eq!(snap.wal_fsync_ns, 80);
         assert_eq!(snap.flusher_backpressure_ns, 90);
+        assert_eq!(snap.io_retries, 1);
+        assert_eq!(snap.io_giveups, 0);
     }
 
     #[test]

@@ -43,8 +43,10 @@
 use crate::audit::{self, Audited, LockClass};
 use crate::backend::{MemBackend, PageBackend};
 use crate::error::{Result, StoreError};
+use crate::health::StoreHealth;
 use crate::journal::Journal;
-use crate::page::{page_lsn, set_page_lsn, PAGE_LSN_LEN, PAGE_LSN_OFFSET};
+use crate::page::{page_lsn, set_page_lsn, PAGE_LSN_LEN, PAGE_LSN_OFFSET, PAGE_RESERVED_END};
+use crate::page::{stamp_page_crc, verify_page_crc};
 use crate::page::{Page, PageId};
 use crate::pool::{BufferPool, Claim, Frame};
 use crate::session::Session;
@@ -83,6 +85,16 @@ pub struct StoreConfig {
     /// high watermark. Requires a pool (`pool_frames > 0`); off by default
     /// — in-memory stores have nothing to gain from it.
     pub background_flusher: bool,
+    /// Maintain a store-owned CRC32 over every page image the backend
+    /// receives — stamped into the reserved header field at
+    /// [`crate::page::PAGE_CRC_OFFSET`] on write-back and verified on
+    /// every backend read — so torn page-file writes and bit rot surface
+    /// as a typed [`StoreError::ChecksumMismatch`] instead of silently
+    /// decoding garbage. Frames never carry a live checksum: the stamp
+    /// goes into a scratch copy on the way out, and an all-zero
+    /// (never-written) page verifies as unstamped. Off by default — an
+    /// in-memory backend cannot rot; the durable layer turns it on.
+    pub page_checksums: bool,
 }
 
 impl Default for StoreConfig {
@@ -93,6 +105,7 @@ impl Default for StoreConfig {
             pool_frames: 1024,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         }
     }
 }
@@ -113,6 +126,16 @@ impl StoreConfig {
 /// heap writes (record bytes + a slot-directory entry + header words)
 /// typically collapse to 2–3 spans.
 const MERGE_GAP: usize = 16;
+
+/// Backoff schedule for transient backend I/O errors: up to three retries
+/// after the initial attempt, sleeping 50µs, 200µs, 800µs between them.
+/// Short enough that a foreground op under a latch stalls for ~1ms worst
+/// case; long enough to ride out a momentary EINTR/EAGAIN-class hiccup.
+const IO_RETRY_BACKOFF: [Duration; 3] = [
+    Duration::from_micros(50),
+    Duration::from_micros(200),
+    Duration::from_micros(800),
+];
 
 /// Merges tracked dirty ranges into ascending, non-overlapping spans
 /// (bridging gaps up to [`MERGE_GAP`]).
@@ -422,9 +445,9 @@ impl PageWrite<'_> {
     /// journaled as a coalesced delta record instead of a full page image.
     ///
     /// Tracked callers promise their page layout reserves
-    /// [`PAGE_LSN_OFFSET`]`..+`[`PAGE_LSN_LEN`] for the store's per-page
-    /// LSN (heap pages do, in their header); a tracked range must not
-    /// overlap it.
+    /// [`PAGE_LSN_OFFSET`]`..`[`PAGE_RESERVED_END`] for the store's
+    /// per-page LSN and checksum (heap pages do, in their header); a
+    /// tracked range must not overlap it.
     pub fn tracked_mut(&mut self, off: usize, len: usize) -> &mut [u8] {
         self.note_range(off, len);
         &mut self.raw_mut()[off..off + len]
@@ -442,8 +465,8 @@ impl PageWrite<'_> {
         }
         debug_assert!(off + len <= self.len(), "tracked write past page end");
         debug_assert!(
-            off + len <= PAGE_LSN_OFFSET || off >= PAGE_LSN_OFFSET + PAGE_LSN_LEN,
-            "tracked write overlaps the reserved page-LSN field"
+            off + len <= PAGE_LSN_OFFSET || off >= PAGE_RESERVED_END,
+            "tracked write overlaps the reserved page header (LSN + CRC)"
         );
         self.ranges.push((off as u32, len as u32));
     }
@@ -609,6 +632,9 @@ pub struct PageStore {
     free: Mutex<Vec<PageId>>,
     pool: BufferPool,
     stats: Arc<StoreStats>,
+    /// Sticky fsync poisoning + the background-error latch, shared with
+    /// the WAL and the durable facade (see [`crate::health`]).
+    health: Arc<StoreHealth>,
     zero: Box<[u8]>,
     /// Current checkpoint epoch (starts at 1; bumped by
     /// [`PageStore::advance_checkpoint_epoch`]). A page whose
@@ -663,6 +689,7 @@ impl PageStore {
             slots: RwLock::new(slots),
             free: Mutex::new(free),
             stats,
+            health: Arc::new(StoreHealth::new()),
             epoch: AtomicU64::new(1),
             flusher: OnceLock::new(),
         });
@@ -752,6 +779,24 @@ impl PageStore {
         self.journal.as_ref()
     }
 
+    /// The store's shared health state (sticky fsync poisoning and the
+    /// background-error latch). The durable layer hands a clone to the
+    /// WAL so a failed fsync poisons everything that shares the store.
+    pub fn health(&self) -> Arc<StoreHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// Surfaces a latched background error (a flusher write-back that had
+    /// no caller to fail) on this foreground operation. A single relaxed
+    /// load when nothing is flagged.
+    #[inline]
+    fn check_health(&self) -> Result<()> {
+        match self.health.take_flagged() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Pages currently resident in the buffer pool.
     pub fn pool_resident(&self) -> usize {
         self.pool.resident()
@@ -783,7 +828,7 @@ impl PageStore {
                 // can re-dirty the bytes mid-write.
                 if *allocated && self.pool.clear_dirty(frame) {
                     self.simulate_io();
-                    if let Err(e) = self.backend.write(pid.index(), &guard) {
+                    if let Err(e) = self.backend_write_page(pid, &guard) {
                         // The frame bytes are the only up-to-date copy;
                         // re-dirty so a later flush retries the write-back.
                         self.pool.mark_dirty(frame);
@@ -850,7 +895,7 @@ impl PageStore {
                 let allocated = slot.latch();
                 if *allocated && frame.owned_by(pid) && self.pool.clear_dirty(frame) {
                     self.simulate_io();
-                    if let Err(e) = self.backend.write(pid.index(), &guard) {
+                    if let Err(e) = self.backend_write_page(pid, &guard) {
                         self.pool.mark_dirty(frame);
                         return Err(e);
                     }
@@ -898,8 +943,11 @@ impl PageStore {
         }
         StoreStats::bump(&self.stats.flusher_wakeups);
         // Write-ahead barrier, same as `flush`. On a journal error leave
-        // the frames dirty; the next foreground flush surfaces it.
-        if self.publish_journal().is_err() {
+        // the frames dirty and latch the error — the flusher has no
+        // caller, so "return false" alone would swallow it.
+        if let Err(e) = self.publish_journal() {
+            StoreStats::bump(&self.stats.flusher_errors);
+            self.health.flag(e);
             return false;
         }
         let mut wrote = false;
@@ -910,7 +958,7 @@ impl PageStore {
                 let allocated = slot.latch();
                 if *allocated && frame.owned_by(pid) && self.pool.clear_dirty(frame) {
                     self.simulate_io();
-                    if let Err(e) = self.backend.write(pid.index(), &guard) {
+                    if let Err(e) = self.backend_write_page(pid, &guard) {
                         // The frame bytes are the only up-to-date copy.
                         self.pool.mark_dirty(frame);
                         return Err(e);
@@ -921,7 +969,16 @@ impl PageStore {
                 }
                 Ok(false)
             })();
-            wrote |= matches!(r, Ok(true));
+            match r {
+                Ok(did_write) => wrote |= did_write,
+                // Background write-back failed with nobody to return to:
+                // latch it so the next foreground op fails loudly instead
+                // of the store limping along with an undrainable pool.
+                Err(e) => {
+                    StoreStats::bump(&self.stats.flusher_errors);
+                    self.health.flag(e);
+                }
+            }
             frame.unpin();
         }
         wrote
@@ -991,6 +1048,66 @@ impl PageStore {
             while t0.elapsed() < d {
                 std::hint::spin_loop();
             }
+        }
+    }
+
+    /// Retries a backend page access on transient I/O errors with bounded
+    /// exponential backoff (the schedule in [`IO_RETRY_BACKOFF`]). Only
+    /// `StoreError::Io` is retried — a checksum mismatch or typed state
+    /// error re-running the op could at best hide and at worst repeat.
+    /// Success after a retry bumps `io_retries`; exhausting the schedule
+    /// bumps `io_giveups` and returns the last error. Either way the
+    /// nanoseconds slept are recorded in `io_retry_backoff_hist`.
+    fn retry_io(&self, mut op: impl FnMut() -> Result<()>) -> Result<()> {
+        let mut r = op();
+        if !matches!(r, Err(StoreError::Io(_))) {
+            return r;
+        }
+        let mut waited_ns = 0u64;
+        for backoff in IO_RETRY_BACKOFF {
+            std::thread::sleep(backoff);
+            waited_ns += backoff.as_nanos() as u64;
+            r = op();
+            match r {
+                Err(StoreError::Io(_)) => continue,
+                _ => {
+                    self.stats.record_io_retry(waited_ns, false);
+                    return r;
+                }
+            }
+        }
+        self.stats.record_io_retry(waited_ns, true);
+        r
+    }
+
+    /// The single funnel for backend page reads: retries transient errors
+    /// and (with `StoreConfig::page_checksums`) verifies the page's stored
+    /// CRC, turning torn writes and bit rot into a typed
+    /// [`StoreError::ChecksumMismatch`]. Every pool miss, bypass read and
+    /// write-intent load goes through here.
+    fn backend_read_page(&self, pid: PageId, buf: &mut [u8]) -> Result<()> {
+        self.retry_io(|| self.backend.read(pid.index(), buf))?;
+        if self.cfg.page_checksums && !verify_page_crc(buf) {
+            StoreStats::bump(&self.stats.checksum_failures);
+            return Err(StoreError::ChecksumMismatch { page: pid });
+        }
+        Ok(())
+    }
+
+    /// The single funnel for backend page writes: with
+    /// `StoreConfig::page_checksums` the CRC is stamped into a scratch
+    /// copy (frames and caller buffers never carry a live checksum — the
+    /// stored CRC is purely a backend-image property), and transient
+    /// errors are retried. Every write-back, bypass write and checkpoint
+    /// sweep goes through here; alloc's zero-fill skips it deliberately
+    /// (an all-zero page verifies as unstamped).
+    fn backend_write_page(&self, pid: PageId, data: &[u8]) -> Result<()> {
+        if self.cfg.page_checksums {
+            let mut scratch = data.to_vec();
+            stamp_page_crc(&mut scratch);
+            self.retry_io(|| self.backend.write(pid.index(), &scratch))
+        } else {
+            self.retry_io(|| self.backend.write(pid.index(), data))
         }
     }
 
@@ -1124,6 +1241,7 @@ impl PageStore {
     /// the allocation is logged (and committed) before it becomes visible;
     /// on a journal or backend error the page stays free.
     pub fn alloc(&self) -> Result<PageId> {
+        self.check_health()?;
         // NB: pop in its own statement — the guard must not live into the
         // body, which re-locks `free` on the journal-error path.
         let reused = self.lock_free().pop();
@@ -1135,7 +1253,10 @@ impl PageStore {
             let r = self
                 .log(|j| j.log_alloc(pid))
                 .and_then(|()| self.publish_journal())
-                .and_then(|()| self.backend.write(pid.index(), &self.zero));
+                // Unstamped zero fill: an all-zero page passes checksum
+                // verification by the "never written" rule, and fresh
+                // allocations must read back as all zeros.
+                .and_then(|()| self.retry_io(|| self.backend.write(pid.index(), &self.zero)));
             if let Err(e) = r {
                 drop(allocated);
                 self.lock_free().push(pid);
@@ -1181,6 +1302,7 @@ impl PageStore {
     /// reallocation, an unrelated node — which the tree's low/high bound
     /// checks catch and turn into a restart).
     pub fn free(&self, pid: PageId) -> Result<()> {
+        self.check_health()?;
         let slot = self.slot(pid)?;
         {
             let mut allocated = slot.latch();
@@ -1202,6 +1324,7 @@ impl PageStore {
     /// (pinning it) when resident, loading it on a miss. Falls back to a
     /// private copy when every frame is pinned or the pool is disabled.
     pub fn read(&self, pid: PageId) -> Result<PageRef<'_>> {
+        self.check_health()?;
         let slot = self.slot(pid)?;
         StoreStats::bump(&self.stats.gets);
         if self.pool.capacity() == 0 {
@@ -1378,7 +1501,7 @@ impl PageStore {
             } else {
                 self.simulate_io();
                 frame.begin_write();
-                let r = self.backend.read(pid.index(), &mut buf);
+                let r = self.backend_read_page(pid, &mut buf);
                 frame.end_write();
                 r
             }
@@ -1432,7 +1555,7 @@ impl PageStore {
         if *allocated && self.pool.still_flushing(old, idx) {
             self.publish_journal()?;
             self.simulate_io();
-            self.backend.write(old.index(), bytes)?;
+            self.backend_write_page(old, bytes)?;
             StoreStats::bump(&self.stats.dirty_writebacks);
         }
         Ok(())
@@ -1452,7 +1575,7 @@ impl PageStore {
             return Ok(None);
         }
         self.simulate_io();
-        self.backend.read(pid.index(), page.bytes_mut())?;
+        self.backend_read_page(pid, page.bytes_mut())?;
         Ok(Some(page))
     }
 
@@ -1462,6 +1585,7 @@ impl PageStore {
     /// The new image lands in the page's frame (write-back); it reaches the
     /// backend on eviction or [`PageStore::sync`].
     pub fn put(&self, pid: PageId, page: &Page) -> Result<()> {
+        self.check_health()?;
         if page.len() != self.cfg.page_size {
             return Err(StoreError::PageSizeMismatch {
                 got: page.len(),
@@ -1590,7 +1714,7 @@ impl PageStore {
         self.log_page_write(pid, slot, data, None)?;
         self.publish_journal()?;
         self.simulate_io();
-        self.backend.write(pid.index(), data)?;
+        self.backend_write_page(pid, data)?;
         Ok(true)
     }
 
@@ -1602,6 +1726,7 @@ impl PageStore {
     /// a node rewrite copy-free end to end). Nothing is visible — and no
     /// WAL record exists — until [`PageWrite::commit`].
     pub fn write_page(&self, pid: PageId, intent: WriteIntent) -> Result<PageWrite<'_>> {
+        self.check_health()?;
         let slot = self.slot(pid)?;
         let mut attempt = 0u32;
         loop {
@@ -1678,7 +1803,7 @@ impl PageStore {
                             match intent {
                                 WriteIntent::Update => {
                                     self.simulate_io();
-                                    self.backend.read(pid.index(), &mut guard)
+                                    self.backend_read_page(pid, &mut guard)
                                 }
                                 WriteIntent::Overwrite => {
                                     guard.fill(0);
@@ -2072,6 +2197,7 @@ mod tests {
             pool_frames: 0,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         });
         let pid = store.alloc().unwrap();
         let t0 = Instant::now();
@@ -2137,6 +2263,7 @@ mod pool_tests {
             pool_frames: 8,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         });
         let pid = store.alloc().unwrap();
         // First get: miss (pays the delay and loads the frame); the rest hit.
@@ -2167,6 +2294,7 @@ mod pool_tests {
             pool_frames: 4,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         });
         let pid = store.alloc().unwrap();
         let mut p = Page::zeroed(64);
@@ -2198,6 +2326,7 @@ mod pool_tests {
             pool_frames: 1,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         });
         let a = store.alloc().unwrap();
         let b = store.alloc().unwrap();
@@ -2222,6 +2351,7 @@ mod pool_tests {
             pool_frames: 2,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         });
         let a = store.alloc().unwrap();
         let b = store.alloc().unwrap();
@@ -2250,6 +2380,7 @@ mod pool_tests {
             pool_frames: 4,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         });
         let pid = store.alloc().unwrap();
         store.get(pid).unwrap(); // resident now
@@ -2311,6 +2442,7 @@ mod pool_tests {
                 pool_frames: 1,
                 delta_puts: true,
                 background_flusher: false,
+                page_checksums: false,
             },
             backend,
             None,
@@ -2325,7 +2457,9 @@ mod pool_tests {
         store.put(a, &p).unwrap(); // a dirty in the single frame
                                    // Fail the write-back that evicting `a` requires: the read of `b`
                                    // errors, and `a`'s latest bytes must survive in the restored frame.
-        fail_writes.store(1, std::sync::atomic::Ordering::Relaxed);
+                                   // Four failures outlast the transient-I/O retry schedule (one
+                                   // initial attempt + three retries), so the error surfaces.
+        fail_writes.store(4, std::sync::atomic::Ordering::Relaxed);
         assert!(matches!(store.read(b), Err(StoreError::Io(_))));
         assert!(
             store.read(a).unwrap().iter().all(|&x| x == 0xD1),
@@ -2345,6 +2479,7 @@ mod pool_tests {
             pool_frames: 4,
             delta_puts: true,
             background_flusher: false,
+            page_checksums: false,
         });
         let pids: Vec<_> = (0..8).map(|_| store.alloc().unwrap()).collect();
         for pid in &pids {
@@ -2579,14 +2714,14 @@ mod journal_tests {
         let a = store.alloc().unwrap(); // base via alloc
                                         // A tracked write dirtying most of the page: full-image fallback.
         let mut w = store.write_page(a, WriteIntent::Update).unwrap();
-        w.write_at(20, &[6; 200]);
+        w.write_at(24, &[6; 200]);
         w.commit().unwrap();
         assert!(j.deltas.lock().is_empty());
         assert_eq!(j.bases.load(Ordering::Relaxed), 1);
         assert_eq!(store.stats().snapshot().wal_delta_fallback_large, 1);
         // A small tracked write now rides on that base as a delta.
         let mut w = store.write_page(a, WriteIntent::Update).unwrap();
-        w.write_at(20, &[7; 4]);
+        w.write_at(24, &[7; 4]);
         w.commit().unwrap();
         assert_eq!(j.deltas.lock().len(), 1);
     }

@@ -473,6 +473,56 @@ fn crash_matrix_across_a_fuzzy_checkpoint() {
     }
 }
 
+/// The checkpoint's meta rewrite is the single-file commit point of the
+/// fuzzy protocol. Fail it — transiently and torn — mid-checkpoint:
+/// `checkpoint_end` must error typed, the tear must land in `meta.tmp`
+/// (never the live `meta`), the store must keep committing on the old
+/// cut, and a reopen must recover the full committed prefix by replaying
+/// from the previous checkpoint, whose segments the failed end never got
+/// to delete.
+#[test]
+fn meta_write_faults_mid_checkpoint_fall_back_to_the_previous_cut() {
+    use sagiv_blink_repro::durable::{FaultKind, FaultPlan, FaultSite};
+    const PHASE: u64 = 60;
+    const KEYS: u64 = 48;
+    for kind in [FaultKind::Transient, FaultKind::TornWrite(33)] {
+        let dir = tmpdir("metafault");
+        let db = Db::open(cfg(&dir)).unwrap();
+        let mut model = BTreeMap::new();
+        let mut s = db.session();
+        assert_eq!(apply_ops(&mut s, &mut model, 0..PHASE, KEYS), None);
+        let ds = db.durable().unwrap();
+        let token = ds.checkpoint_begin().unwrap();
+        assert_eq!(apply_ops(&mut s, &mut model, PHASE..2 * PHASE, KEYS), None);
+        ds.fault()
+            .set_plan(FaultPlan::new().fail_nth(FaultSite::MetaWrite, 1, kind));
+        let err = ds
+            .checkpoint_end(token)
+            .expect_err("a meta-write fault must fail the checkpoint");
+        assert!(
+            err.to_string().contains("injected"),
+            "unexpected error: {err}"
+        );
+        // The store keeps running on the old cut...
+        assert_eq!(
+            apply_ops(&mut s, &mut model, 2 * PHASE..3 * PHASE, KEYS),
+            None,
+            "{kind:?}: writes after the failed checkpoint must still commit"
+        );
+        // ...and the next checkpoint (the fault is spent) commits cleanly.
+        db.checkpoint()
+            .unwrap_or_else(|e| panic!("{kind:?}: post-fault checkpoint failed: {e}"));
+        drop(s);
+        drop(db);
+        // Reopen: the torn image sat in `meta.tmp`, so recovery reads an
+        // intact meta and lands on exactly the committed prefix.
+        let db = Db::open(cfg(&dir)).unwrap();
+        assert_consistent(&db, &model, None, KEYS);
+        drop(db);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 /// Fuzzy means fuzzy: checkpoints loop while four writer threads churn.
 /// Every checkpoint must succeed, and the final database (reopened, so
 /// recovery replays from the last cut) must verify and hold every thread's

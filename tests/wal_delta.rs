@@ -13,11 +13,11 @@
 //! against a plain `Vec<u8>` model, then drops the store *without* a final
 //! flush (the crash) and reopens it. Recovery replays whatever mix of
 //! bases and deltas the case produced; the page must equal the model
-//! everywhere outside the store-reserved LSN field.
+//! everywhere outside the store-reserved region (LSN + CRC).
 
 use proptest::prelude::*;
 use sagiv_blink_repro::durable::{DurableConfig, DurableStore, FsyncPolicy};
-use sagiv_blink_repro::pagestore::{Page, WriteIntent, PAGE_LSN_LEN, PAGE_LSN_OFFSET};
+use sagiv_blink_repro::pagestore::{Page, WriteIntent, PAGE_LSN_OFFSET, PAGE_RESERVED_END};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -59,13 +59,13 @@ enum Op {
     Checkpoint,
 }
 
-/// A range that avoids the store-reserved LSN field (tracked callers
-/// promise that; the heap reserves it in its header).
+/// A range that avoids the store-reserved region (LSN + CRC; tracked
+/// callers promise that — the heap reserves it in its header).
 fn range_strategy() -> impl Strategy<Value = (usize, usize, u8)> {
     (0u64..u64::MAX).prop_map(|x| {
         let fill = (x >> 48) as u8;
         let len = 1 + (x >> 40) as usize % 32;
-        let lo = PAGE_LSN_OFFSET + PAGE_LSN_LEN;
+        let lo = PAGE_RESERVED_END;
         let off = lo + (x as usize) % (PAGE - lo - len);
         (off, len, fill)
     })
@@ -124,7 +124,9 @@ fn run_case(ops: &[Op]) {
     let got = ds.store().get(pid).unwrap();
     let mask = |b: &[u8]| {
         let mut v = b.to_vec();
-        v[PAGE_LSN_OFFSET..PAGE_LSN_OFFSET + PAGE_LSN_LEN].fill(0);
+        // The store owns LSN + CRC; full-image puts of arbitrary bytes get
+        // the CRC re-stamped at write-back, so the region is masked out.
+        v[PAGE_LSN_OFFSET..PAGE_RESERVED_END].fill(0);
         v
     };
     prop_assert_eq!(
